@@ -1,0 +1,36 @@
+"""Figure 4: runtime vs number of attributes — global representation bounds.
+
+One benchmark per (dataset, #attributes, algorithm) point; the pytest-benchmark table
+is the text equivalent of the three panels of Figure 4.  The paper's claim to verify
+is that GlobalBounds is consistently faster than the IterTD baseline and that both
+grow steeply with the number of attributes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ATTRIBUTE_POINTS, WORKLOAD_NAMES, projected_instance
+from repro.experiments.harness import measure_run
+
+
+@pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("n_attributes", ATTRIBUTE_POINTS)
+@pytest.mark.parametrize("algorithm", ("IterTD", "GlobalBounds"))
+def test_fig4_runtime_vs_num_attributes(benchmark, workloads, workload_name, n_attributes, algorithm):
+    workload = workloads[workload_name]
+    dataset, ranking = projected_instance(workload, n_attributes)
+    bound = workload.default_global_bounds()
+    tau_s = workload.default_tau_s()
+    k_min, k_max = workload.default_k_range()
+
+    measurement = benchmark.pedantic(
+        measure_run,
+        args=(algorithm, dataset, ranking, bound, tau_s, k_min, k_max),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["n_attributes"] = dataset.n_attributes
+    benchmark.extra_info["patterns_evaluated"] = measurement.nodes_evaluated
+    benchmark.extra_info["groups_reported"] = measurement.total_reported

@@ -1,0 +1,34 @@
+"""Figure 5: runtime vs number of attributes — proportional representation.
+
+Same sweep as Figure 4 but for Problem 3.2 (alpha = 0.8), comparing the IterTD
+baseline against the PropBounds algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ATTRIBUTE_POINTS, WORKLOAD_NAMES, projected_instance
+from repro.experiments.harness import measure_run
+
+
+@pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("n_attributes", ATTRIBUTE_POINTS)
+@pytest.mark.parametrize("algorithm", ("IterTD", "PropBounds"))
+def test_fig5_runtime_vs_num_attributes(benchmark, workloads, workload_name, n_attributes, algorithm):
+    workload = workloads[workload_name]
+    dataset, ranking = projected_instance(workload, n_attributes)
+    bound = workload.default_proportional_bounds()
+    tau_s = workload.default_tau_s()
+    k_min, k_max = workload.default_k_range()
+
+    measurement = benchmark.pedantic(
+        measure_run,
+        args=(algorithm, dataset, ranking, bound, tau_s, k_min, k_max),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["n_attributes"] = dataset.n_attributes
+    benchmark.extra_info["patterns_evaluated"] = measurement.nodes_evaluated
+    benchmark.extra_info["groups_reported"] = measurement.total_reported

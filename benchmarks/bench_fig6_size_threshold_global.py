@@ -1,0 +1,39 @@
+"""Figure 6: runtime vs size threshold tau_s — global representation bounds.
+
+The paper observes that runtimes decrease as tau_s grows (a larger threshold prunes
+more of the pattern graph) and that GlobalBounds stays below the baseline throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_BENCH_ATTRIBUTES,
+    THRESHOLD_POINTS,
+    WORKLOAD_NAMES,
+    projected_instance,
+)
+from repro.experiments.harness import measure_run
+
+
+@pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("tau_s", THRESHOLD_POINTS)
+@pytest.mark.parametrize("algorithm", ("IterTD", "GlobalBounds"))
+def test_fig6_runtime_vs_size_threshold(benchmark, workloads, workload_name, tau_s, algorithm):
+    workload = workloads[workload_name]
+    dataset, ranking = projected_instance(workload, DEFAULT_BENCH_ATTRIBUTES)
+    bound = workload.default_global_bounds()
+    scaled_tau_s = max(2, int(round(tau_s * workload.scale)))
+    k_min, k_max = workload.default_k_range()
+
+    measurement = benchmark.pedantic(
+        measure_run,
+        args=(algorithm, dataset, ranking, bound, scaled_tau_s, k_min, k_max),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["tau_s"] = scaled_tau_s
+    benchmark.extra_info["patterns_evaluated"] = measurement.nodes_evaluated
+    benchmark.extra_info["groups_reported"] = measurement.total_reported

@@ -1,0 +1,36 @@
+"""Theorem 3.3: the worst-case construction with an exponential result set.
+
+The benchmark runs GlobalBounds on the adversarial instance for growing ``n`` and
+checks that the result size equals ``C(n, n/2)`` — demonstrating that the
+exponential lower bound is about the *output* size, not an inefficiency of the
+search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.data.hardness import expected_result_size, hardness_instance
+from repro.ranking.base import Ranking
+
+
+@pytest.mark.parametrize("n", (6, 10, 12))
+def test_hardness_worst_case(benchmark, n):
+    instance = hardness_instance(n)
+    ranking = Ranking(instance.dataset, instance.order)
+    detector = GlobalBoundsDetector(
+        bound=GlobalBoundSpec(lower_bounds=float(instance.lower_bound)),
+        tau_s=2,
+        k_min=instance.k,
+        k_max=instance.k,
+    )
+
+    report = benchmark.pedantic(
+        detector.detect, args=(instance.dataset, ranking), rounds=1, iterations=1
+    )
+    groups = report.groups_at(instance.k)
+    assert len(groups) == expected_result_size(n)
+    benchmark.extra_info["n_attributes"] = n
+    benchmark.extra_info["result_size"] = len(groups)

@@ -1,0 +1,10 @@
+"""Setup shim so that editable installs work without the `wheel` package installed.
+
+The offline environment ships setuptools 65 but no `wheel`, which breaks PEP 517
+editable installs (`invalid command 'bdist_wheel'`); keeping a classic ``setup.py``
+lets ``pip install -e .`` fall back to the legacy develop-mode code path.
+"""
+
+from setuptools import setup
+
+setup()

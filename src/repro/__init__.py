@@ -1,0 +1,50 @@
+"""Reproduction of "Detection of Groups with Biased Representation in Ranking" (ICDE 2023).
+
+The package is organised as follows:
+
+* :mod:`repro.data` — relational data substrate and synthetic dataset generators;
+* :mod:`repro.ranking` — black-box rankers used by the experiments;
+* :mod:`repro.core` — the detection algorithms (IterTD, GlobalBounds, PropBounds);
+* :mod:`repro.mlcore` — from-scratch regression models for the explainer;
+* :mod:`repro.explain` — Shapley-value based result analysis (Section V);
+* :mod:`repro.divergence` — the DivExplorer-style comparator of Section VI-D;
+* :mod:`repro.experiments` — harness regenerating every figure of the evaluation.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core import (
+    DetectionReport,
+    DetectionResult,
+    GlobalBoundsDetector,
+    GlobalBoundSpec,
+    IterTDDetector,
+    Pattern,
+    PropBoundsDetector,
+    ProportionalBoundSpec,
+    detect_biased_groups,
+)
+from repro.data import Dataset, Schema
+from repro.ranking import AttributeRanker, PrecomputedRanker, Ranker, Ranking, ScoreRanker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Dataset",
+    "Schema",
+    "Ranker",
+    "Ranking",
+    "AttributeRanker",
+    "ScoreRanker",
+    "PrecomputedRanker",
+    "Pattern",
+    "GlobalBoundSpec",
+    "ProportionalBoundSpec",
+    "IterTDDetector",
+    "GlobalBoundsDetector",
+    "PropBoundsDetector",
+    "DetectionReport",
+    "DetectionResult",
+    "detect_biased_groups",
+]

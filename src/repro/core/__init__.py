@@ -1,0 +1,114 @@
+"""Core detection algorithms of the paper.
+
+The package exposes the three detectors (IterTD baseline, GlobalBounds, PropBounds),
+the bound specifications of the two problem definitions, and a convenience function
+:func:`detect_biased_groups` that picks the appropriate optimized algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import (
+    BoundSpec,
+    GlobalBoundSpec,
+    ProportionalBoundSpec,
+    paper_default_global_bounds,
+    paper_default_proportional_bounds,
+    step_lower_bounds,
+)
+from repro.core.brute_force import brute_force_detection, enumerate_patterns
+from repro.core.detector import DetectionParameters, DetectionReport, Detector
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern import EMPTY_PATTERN, Pattern
+from repro.core.pattern_graph import PatternCounter, SearchTree
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.core.result_set import DetectedGroup, DetectionResult, MostGeneralSet, minimal_patterns
+from repro.core.serialization import load_result, save_result
+from repro.core.stats import SearchStats, examined_gain
+from repro.core.tuning import (
+    TuningResult,
+    suggest_alpha,
+    suggest_lower_bound,
+    suggest_size_threshold,
+)
+from repro.core.top_down import SearchState, top_down_search
+from repro.core.upper_bounds import (
+    UpperBoundsDetector,
+    most_general_above_upper,
+    most_specific_substantial,
+    substantial_patterns,
+)
+from repro.data.dataset import Dataset
+from repro.ranking.base import Ranker, Ranking
+
+
+def detect_biased_groups(
+    dataset: Dataset,
+    ranking: Ranking | Ranker,
+    bound: BoundSpec,
+    tau_s: int,
+    k_min: int,
+    k_max: int,
+    algorithm: str = "auto",
+) -> DetectionReport:
+    """Detect the most general groups with biased (under-)representation.
+
+    ``algorithm`` may be ``"auto"`` (GlobalBounds for pattern-independent bounds,
+    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or ``"prop_bounds"``.
+    """
+    if algorithm == "auto":
+        algorithm = "prop_bounds" if bound.pattern_dependent else "global_bounds"
+    detectors = {
+        "iter_td": IterTDDetector,
+        "global_bounds": GlobalBoundsDetector,
+        "prop_bounds": PropBoundsDetector,
+    }
+    try:
+        detector_class = detectors[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(detectors)} or 'auto'"
+        ) from None
+    detector = detector_class(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+    return detector.detect(dataset, ranking)
+
+
+__all__ = [
+    "BoundSpec",
+    "GlobalBoundSpec",
+    "ProportionalBoundSpec",
+    "step_lower_bounds",
+    "paper_default_global_bounds",
+    "paper_default_proportional_bounds",
+    "Pattern",
+    "EMPTY_PATTERN",
+    "PatternCounter",
+    "SearchTree",
+    "SearchState",
+    "top_down_search",
+    "Detector",
+    "DetectionParameters",
+    "DetectionReport",
+    "DetectionResult",
+    "DetectedGroup",
+    "MostGeneralSet",
+    "minimal_patterns",
+    "IterTDDetector",
+    "GlobalBoundsDetector",
+    "PropBoundsDetector",
+    "UpperBoundsDetector",
+    "substantial_patterns",
+    "most_specific_substantial",
+    "most_general_above_upper",
+    "brute_force_detection",
+    "enumerate_patterns",
+    "SearchStats",
+    "examined_gain",
+    "detect_biased_groups",
+    "save_result",
+    "load_result",
+    "TuningResult",
+    "suggest_alpha",
+    "suggest_lower_bound",
+    "suggest_size_threshold",
+]

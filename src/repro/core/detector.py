@@ -1,0 +1,148 @@
+"""Detector interface, detection reports and the high-level convenience API.
+
+Every algorithm (the IterTD baseline, GlobalBounds and PropBounds) implements
+:class:`Detector`: given a dataset and either a ranking or a black-box ranker, it
+returns a :class:`DetectionReport` bundling the per-k result sets, the search
+statistics and enough context (sizes, counts, bounds) to present the results the way
+Section III suggests — ordered by k and ranked by group size or bias gap.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+from repro.core.bounds import BoundSpec
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternCounter
+from repro.core.result_set import DetectedGroup, DetectionResult
+from repro.core.stats import SearchStats
+from repro.data.dataset import Dataset
+from repro.exceptions import DetectionError
+from repro.ranking.base import Ranker, Ranking
+
+
+@dataclass(frozen=True)
+class DetectionParameters:
+    """The problem parameters shared by every detection algorithm."""
+
+    bound: BoundSpec
+    tau_s: int
+    k_min: int
+    k_max: int
+
+    def __post_init__(self) -> None:
+        if self.tau_s < 1:
+            raise DetectionError("the size threshold tau_s must be at least 1")
+        if self.k_min < 1:
+            raise DetectionError("k_min must be at least 1")
+        if self.k_max < self.k_min:
+            raise DetectionError("k_max must be at least k_min")
+
+    def k_range(self) -> range:
+        return range(self.k_min, self.k_max + 1)
+
+    def validate_for(self, dataset: Dataset) -> None:
+        if self.k_max > dataset.n_rows:
+            raise DetectionError(
+                f"k_max={self.k_max} exceeds the dataset size of {dataset.n_rows} rows"
+            )
+
+
+class DetectionReport:
+    """The outcome of one detection run."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        parameters: DetectionParameters,
+        result: DetectionResult,
+        stats: SearchStats,
+        counter: PatternCounter,
+    ) -> None:
+        self.algorithm = algorithm
+        self.parameters = parameters
+        self.result = result
+        self.stats = stats
+        self._counter = counter
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectionReport(algorithm={self.algorithm!r}, "
+            f"k=[{self.parameters.k_min}, {self.parameters.k_max}], "
+            f"total_reported={self.result.total_reported()})"
+        )
+
+    def groups_at(self, k: int) -> frozenset[Pattern]:
+        """The most general biased patterns detected for prefix length ``k``."""
+        return self.result.groups_at(k)
+
+    def detailed_groups(self, k: int, order_by: str = "size") -> list[DetectedGroup]:
+        """Detected groups at ``k`` with their sizes, counts and bounds.
+
+        ``order_by`` is ``"size"`` (overall group size, descending) or ``"bias"``
+        (gap between required and actual representation, descending), the two
+        orderings Section III proposes for presenting results.
+        """
+        if order_by not in {"size", "bias"}:
+            raise DetectionError("order_by must be 'size' or 'bias'")
+        dataset_size = self._counter.dataset_size
+        groups = []
+        for pattern in self.result.groups_at(k):
+            size = self._counter.size(pattern)
+            count = self._counter.top_k_count(pattern, k)
+            bound = self.parameters.bound.lower(k, size, dataset_size)
+            groups.append(
+                DetectedGroup(pattern=pattern, k=k, size_in_data=size, count_in_top_k=count, bound=bound)
+            )
+        if order_by == "size":
+            groups.sort(key=lambda group: (-group.size_in_data, group.pattern.describe()))
+        else:
+            groups.sort(key=lambda group: (-group.bias_gap, group.pattern.describe()))
+        return groups
+
+    def describe(self, max_rows: int = 50) -> str:
+        """Plain-text summary of the detection run (one line per detected group)."""
+        lines = [
+            f"algorithm: {self.algorithm}",
+            f"k range: [{self.parameters.k_min}, {self.parameters.k_max}]  "
+            f"size threshold: {self.parameters.tau_s}",
+            f"groups reported (k, group) pairs: {self.result.total_reported()}",
+        ]
+        emitted = 0
+        for k in self.result.k_values:
+            for group in self.detailed_groups(k):
+                if emitted >= max_rows:
+                    lines.append(f"... ({self.result.total_reported() - emitted} more rows)")
+                    return "\n".join(lines)
+                lines.append("  " + group.describe())
+                emitted += 1
+        return "\n".join(lines)
+
+
+class Detector(abc.ABC):
+    """Base class of the detection algorithms."""
+
+    #: Human-readable algorithm name, set by subclasses.
+    name: str = "detector"
+
+    def __init__(self, parameters: DetectionParameters) -> None:
+        self.parameters = parameters
+
+    @abc.abstractmethod
+    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+        """Compute the per-k most general biased patterns."""
+
+    def detect(self, dataset: Dataset, ranking: Ranking | Ranker) -> DetectionReport:
+        """Run the detector over ``dataset`` ranked by ``ranking`` (or a ranker)."""
+        self.parameters.validate_for(dataset)
+        if isinstance(ranking, Ranker):
+            ranking = ranking.rank(dataset)
+        counter = PatternCounter(dataset, ranking)
+        stats = SearchStats()
+        started = time.perf_counter()
+        per_k = self._run(counter, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        result = DetectionResult(per_k)
+        return DetectionReport(self.name, self.parameters, result, stats, counter)

@@ -1,0 +1,109 @@
+"""GlobalBounds — optimized detection for global representation bounds (Algorithm 2).
+
+The key observation (Proposition 4.3) is that the top-k and top-(k+1) prefixes differ
+by a single tuple, so while the lower bound ``L_k`` stays constant the only patterns
+whose top-k count changes are the ones satisfied by the newly added tuple
+``R(D)[k]``.  The detector therefore keeps the full search state between consecutive
+values of ``k`` and only
+
+* bumps the counts of below-bound patterns satisfied by the new tuple, and
+* resumes the top-down search underneath patterns that thereby stop violating the
+  bound (their subtree was never explored before).
+
+A fresh top-down search is started whenever the bound schedule steps up, exactly as
+in the paper's Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.bounds import BoundSpec
+from repro.core.detector import DetectionParameters, Detector
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternCounter
+from repro.core.stats import SearchStats
+from repro.core.top_down import SearchState, top_down_search
+from repro.exceptions import DetectionError
+
+
+class GlobalBoundsDetector(Detector):
+    """Incremental detector for Problem 3.1 (global representation bounds)."""
+
+    name = "GlobalBounds"
+
+    def __init__(self, bound: BoundSpec, tau_s: int, k_min: int, k_max: int) -> None:
+        if bound.pattern_dependent:
+            raise DetectionError(
+                "GlobalBounds requires a pattern-independent bound (e.g. GlobalBoundSpec); "
+                "use PropBoundsDetector for proportional representation"
+            )
+        super().__init__(DetectionParameters(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max))
+
+    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+        parameters = self.parameters
+        bound = parameters.bound
+        per_k: dict[int, frozenset[Pattern]] = {}
+
+        state = top_down_search(counter, bound, parameters.k_min, parameters.tau_s, stats)
+        per_k[parameters.k_min] = state.most_general()
+
+        for k in range(parameters.k_min + 1, parameters.k_max + 1):
+            if bound.lower_changes_at(k, 0, counter.dataset_size):
+                # The incremental step is only valid while L_k is unchanged; restart.
+                state = top_down_search(counter, bound, k, parameters.tau_s, stats)
+            else:
+                self._incremental_step(counter, bound, state, k, stats)
+            per_k[k] = state.most_general()
+        return per_k
+
+    def _incremental_step(
+        self,
+        counter: PatternCounter,
+        bound: BoundSpec,
+        state: SearchState,
+        k: int,
+        stats: SearchStats,
+    ) -> None:
+        """Advance the search state from ``k - 1`` to ``k`` under an unchanged bound."""
+        dataset_size = counter.dataset_size
+        lower = bound.lower(k, 0, dataset_size)
+        tree = counter.tree
+        queue: deque[Pattern] = deque()
+
+        # Only below-bound patterns satisfied by the newly added tuple R(D)[k] can
+        # change category (Proposition 4.3); counts of expanded nodes are irrelevant
+        # until the next bound step, which triggers a fresh search anyway.
+        touched = [pattern for pattern in state.below if counter.row_satisfies(k, pattern)]
+        stats.bump("incremental_steps")
+        for pattern in touched:
+            new_count = state.below[pattern] + 1
+            stats.nodes_evaluated += 1
+            if new_count < lower:
+                state.below[pattern] = new_count
+            else:
+                del state.below[pattern]
+                state.expanded[pattern] = new_count
+                children = list(tree.children(pattern))
+                stats.nodes_generated += len(children)
+                queue.extend(children)
+
+        # Resume the top-down search underneath the patterns that stopped violating.
+        while queue:
+            pattern = queue.popleft()
+            if state.is_visited(pattern):
+                continue
+            size = counter.size(pattern)
+            stats.size_computations += 1
+            if size < self.parameters.tau_s:
+                continue
+            state.sizes[pattern] = size
+            count = counter.top_k_count(pattern, k)
+            stats.nodes_evaluated += 1
+            if count < lower:
+                state.below[pattern] = count
+            else:
+                state.expanded[pattern] = count
+                children = list(tree.children(pattern))
+                stats.nodes_generated += len(children)
+                queue.extend(children)

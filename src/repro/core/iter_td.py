@@ -1,0 +1,34 @@
+"""IterTD — the baseline detection algorithm (Section IV-A).
+
+For every ``k`` in the requested range the baseline re-runs the top-down search of
+Algorithm 1 from scratch and reports the most general patterns whose top-k count
+falls below the lower bound.  It works unchanged for both problem definitions
+(global representation bounds and proportional representation) because the bound is
+abstracted behind :class:`~repro.core.bounds.BoundSpec`.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import BoundSpec
+from repro.core.detector import DetectionParameters, Detector
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternCounter
+from repro.core.stats import SearchStats
+from repro.core.top_down import top_down_search
+
+
+class IterTDDetector(Detector):
+    """Iterative top-down baseline: one full search per ``k``."""
+
+    name = "IterTD"
+
+    def __init__(self, bound: BoundSpec, tau_s: int, k_min: int, k_max: int) -> None:
+        super().__init__(DetectionParameters(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max))
+
+    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+        parameters = self.parameters
+        per_k: dict[int, frozenset[Pattern]] = {}
+        for k in parameters.k_range():
+            state = top_down_search(counter, parameters.bound, k, parameters.tau_s, stats)
+            per_k[k] = state.most_general()
+        return per_k

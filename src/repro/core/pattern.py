@@ -1,0 +1,145 @@
+"""Patterns: value assignments to a set of attributes (Definition 2.2).
+
+A pattern ``p`` over a dataset ``D`` is a partial assignment
+``{A_i1 = a_1, ..., A_ik = a_k}``; a tuple satisfies ``p`` if it agrees with every
+assignment.  Patterns define the candidate groups whose representation in the top-k
+ranked items the detection algorithms inspect.  The class below is an immutable,
+hashable mapping with the subsumption operations the pattern graph needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.exceptions import DetectionError
+
+
+class Pattern(Mapping[str, object]):
+    """An immutable value assignment ``{attribute: value}``.
+
+    Patterns compare equal when they contain the same assignments, regardless of the
+    order in which the assignments were supplied.  The empty pattern is the most
+    general pattern and matches every tuple.
+    """
+
+    __slots__ = ("_items", "_lookup", "_hash")
+
+    def __init__(self, assignment: Mapping[str, object] | None = None, **kwargs: object) -> None:
+        merged: dict[str, object] = {}
+        if assignment is not None:
+            merged.update(assignment)
+        if kwargs:
+            overlap = set(merged) & set(kwargs)
+            if overlap:
+                raise DetectionError(f"attributes given twice: {sorted(overlap)}")
+            merged.update(kwargs)
+        items = tuple(sorted(merged.items(), key=lambda item: item[0]))
+        object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_lookup", dict(items))
+        object.__setattr__(self, "_hash", hash(items))
+
+    # -- Mapping protocol ------------------------------------------------------
+    def __getitem__(self, key: str) -> object:
+        return self._lookup[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._lookup)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._lookup
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Pattern):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "Pattern{}"
+        body = ", ".join(f"{name}={value!r}" for name, value in self._items)
+        return f"Pattern{{{body}}}"
+
+    def describe(self) -> str:
+        """Human-readable one-line description, e.g. ``"sex=F, address=R"``."""
+        if not self._items:
+            return "(all tuples)"
+        return ", ".join(f"{name}={value}" for name, value in self._items)
+
+    # -- pattern algebra -------------------------------------------------------
+    @property
+    def items_tuple(self) -> tuple[tuple[str, object], ...]:
+        """The assignments as a canonical (name-sorted) tuple of pairs."""
+        return self._items
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """The set of constrained attributes (``Attr(p)`` in the paper)."""
+        return frozenset(self._lookup)
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def extend(self, attribute: str, value: object) -> "Pattern":
+        """Return the child pattern obtained by adding ``attribute = value``."""
+        if attribute in self._lookup:
+            raise DetectionError(f"attribute {attribute!r} is already constrained by {self!r}")
+        merged = dict(self._items)
+        merged[attribute] = value
+        return Pattern(merged)
+
+    def without(self, attribute: str) -> "Pattern":
+        """Return the parent pattern obtained by dropping ``attribute``."""
+        if attribute not in self._lookup:
+            raise DetectionError(f"attribute {attribute!r} is not constrained by {self!r}")
+        return Pattern({name: value for name, value in self._items if name != attribute})
+
+    def is_subset_of(self, other: "Pattern") -> bool:
+        """``self ⊆ other``: every assignment of ``self`` appears in ``other``.
+
+        A more *general* pattern is a subset of a more *specific* one; ancestors in
+        the pattern graph are subsets of their descendants.
+        """
+        if len(self) > len(other):
+            return False
+        other_lookup = other._lookup
+        return all(other_lookup.get(name, _MISSING) == value for name, value in self._items)
+
+    def is_proper_subset_of(self, other: "Pattern") -> bool:
+        """``self ⊊ other``."""
+        return len(self) < len(other) and self.is_subset_of(other)
+
+    def is_superset_of(self, other: "Pattern") -> bool:
+        return other.is_subset_of(self)
+
+    def is_proper_superset_of(self, other: "Pattern") -> bool:
+        return other.is_proper_subset_of(self)
+
+    def union(self, other: "Pattern") -> "Pattern":
+        """Combine two patterns; conflicting assignments raise :class:`DetectionError`."""
+        merged = dict(self._items)
+        for name, value in other._items:
+            if name in merged and merged[name] != value:
+                raise DetectionError(
+                    f"cannot combine patterns: conflicting values for {name!r} "
+                    f"({merged[name]!r} vs {value!r})"
+                )
+            merged[name] = value
+        return Pattern(merged)
+
+    def parents(self) -> list["Pattern"]:
+        """All parents in the pattern graph (drop one assignment)."""
+        return [self.without(name) for name, _ in self._items]
+
+
+_MISSING = object()
+
+#: The empty (most general) pattern.
+EMPTY_PATTERN = Pattern()

@@ -1,0 +1,142 @@
+"""Pattern graph traversal utilities and cached pattern counting.
+
+Two pieces live here:
+
+* :class:`SearchTree` — child generation for the top-down traversal of the pattern
+  graph (Definition 4.1): a child adds one ``attribute = value`` assignment whose
+  attribute index is strictly larger than every index already used, so each pattern
+  is generated exactly once.
+* :class:`PatternCounter` — memoised computation of ``s_D(p)`` and ``s_Rk(D)(p)``
+  over a fixed dataset and ranking.  Masks are derived incrementally from the tree
+  parent's mask, so evaluating a child costs one vectorised column comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.ranking.base import Ranking
+
+
+class SearchTree:
+    """Child generation for the search tree over a dataset's schema."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._schema = dataset.schema
+        self._names = dataset.attribute_names
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def max_attribute_index(self, pattern: Pattern) -> int:
+        """``idx(Attr(p))`` — the largest schema index used by ``pattern`` (-1 if empty)."""
+        if pattern.is_empty():
+            return -1
+        return max(self._schema.index(name) for name in pattern)
+
+    def children(self, pattern: Pattern) -> Iterator[Pattern]:
+        """Children of ``pattern`` in the search tree (Definition 4.1).
+
+        Every attribute with index larger than ``idx(Attr(p))`` contributes one child
+        per domain value.
+        """
+        start = self.max_attribute_index(pattern) + 1
+        for attribute in self._schema.attributes[start:]:
+            for value in attribute.values:
+                yield pattern.extend(attribute.name, value)
+
+    def count_children(self, pattern: Pattern) -> int:
+        """Number of children ``pattern`` has in the search tree."""
+        start = self.max_attribute_index(pattern) + 1
+        return sum(attribute.cardinality for attribute in self._schema.attributes[start:])
+
+    def graph_parents(self, pattern: Pattern) -> list[Pattern]:
+        """Parents of ``pattern`` in the *pattern graph* (drop one assignment)."""
+        return pattern.parents()
+
+    def tree_parent(self, pattern: Pattern) -> Pattern | None:
+        """The unique parent of ``pattern`` in the search tree (drop the max-index attribute)."""
+        if pattern.is_empty():
+            return None
+        max_name = max(pattern, key=self._schema.index)
+        return pattern.without(max_name)
+
+
+class PatternCounter:
+    """Memoised ``s_D(p)`` / ``s_Rk(D)(p)`` computation over a dataset and its ranking.
+
+    Rows are stored in rank order so the top-k count of a pattern is simply the
+    number of ``True`` entries in the first ``k`` positions of its match mask.
+    """
+
+    def __init__(self, dataset: Dataset, ranking: Ranking, max_cached_masks: int = 250_000) -> None:
+        if ranking.dataset is not dataset and ranking.dataset != dataset:
+            raise ValueError("the ranking was computed over a different dataset")
+        self._dataset = dataset
+        self._schema = dataset.schema
+        # Categorical codes reordered so that row 0 is the top-ranked tuple.
+        self._ranked_codes = dataset.codes[ranking.order]
+        self._ranking = ranking
+        self._mask_cache: dict[Pattern, np.ndarray] = {}
+        self._max_cached_masks = max_cached_masks
+        self._tree = SearchTree(dataset)
+
+    # -- basic facts -----------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def ranking(self) -> Ranking:
+        return self._ranking
+
+    @property
+    def dataset_size(self) -> int:
+        return self._dataset.n_rows
+
+    @property
+    def tree(self) -> SearchTree:
+        return self._tree
+
+    # -- mask computation -------------------------------------------------------
+    def mask(self, pattern: Pattern) -> np.ndarray:
+        """Boolean match mask of ``pattern`` over the rank-ordered rows."""
+        cached = self._mask_cache.get(pattern)
+        if cached is not None:
+            return cached
+        if pattern.is_empty():
+            mask = np.ones(self._ranked_codes.shape[0], dtype=bool)
+        else:
+            parent = self._tree.tree_parent(pattern)
+            added_attribute = next(iter(pattern.attributes - parent.attributes))
+            column_index = self._schema.index(added_attribute)
+            code = self._schema.attribute(added_attribute).code(pattern[added_attribute])
+            mask = self.mask(parent) & (self._ranked_codes[:, column_index] == code)
+        if len(self._mask_cache) < self._max_cached_masks:
+            self._mask_cache[pattern] = mask
+        return mask
+
+    def size(self, pattern: Pattern) -> int:
+        """``s_D(p)`` — the number of tuples in the dataset satisfying ``pattern``."""
+        return int(self.mask(pattern).sum())
+
+    def top_k_count(self, pattern: Pattern, k: int) -> int:
+        """``s_Rk(D)(p)`` — the number of top-k tuples satisfying ``pattern``."""
+        return int(self.mask(pattern)[:k].sum())
+
+    def row_satisfies(self, rank: int, pattern: Pattern) -> bool:
+        """Whether the tuple at (1-based) ``rank`` satisfies ``pattern``."""
+        return bool(self.mask(pattern)[rank - 1])
+
+    def clear_cache(self) -> None:
+        """Drop all memoised masks (used between independent searches)."""
+        self._mask_cache.clear()
+
+    @property
+    def cached_patterns(self) -> int:
+        return len(self._mask_cache)

@@ -1,0 +1,184 @@
+"""PropBounds — optimized detection for proportional representation (Algorithm 3).
+
+For proportional bounds the GlobalBounds optimization does not apply directly: the
+bound ``alpha * s_D(p) * k / |D|`` of *every* pattern grows with ``k``, so a pattern
+untouched by the newly added tuple can still start violating its bound.  Following
+the paper, the detector tracks for every above-bound (expanded) pattern its k-tilde —
+the first ``k`` at which the pattern would fall below its bound if its top-k count
+stopped growing — and schedules a re-examination at that point.  Between consecutive
+values of ``k`` only three kinds of work are performed:
+
+1. counts of visited patterns satisfied by the newly added tuple are bumped (and
+   their k-tilde rescheduled);
+2. below-bound patterns whose bumped count now meets the bound are expanded and the
+   search resumes in their previously unexplored subtree;
+3. expanded patterns whose scheduled k-tilde equals the current ``k`` (and whose
+   count was not bumped past the bound) move to the below-bound frontier.
+
+The most general patterns at each ``k`` are the minimal elements of the below-bound
+frontier, exactly as for the baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.core.bounds import BoundSpec
+from repro.core.detector import DetectionParameters, Detector
+from repro.core.pattern import Pattern
+from repro.core.pattern_graph import PatternCounter
+from repro.core.stats import SearchStats
+from repro.core.top_down import SearchState, top_down_search
+
+
+class PropBoundsDetector(Detector):
+    """Incremental detector for Problem 3.2 (proportional representation bias).
+
+    The implementation only assumes that the lower bound of every pattern is
+    non-decreasing in ``k``, so it also accepts pattern-independent bound
+    specifications; the paper's Algorithm 3 corresponds to using it with a
+    :class:`~repro.core.bounds.ProportionalBoundSpec`.
+    """
+
+    name = "PropBounds"
+
+    def __init__(self, bound: BoundSpec, tau_s: int, k_min: int, k_max: int) -> None:
+        super().__init__(DetectionParameters(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max))
+
+    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+        parameters = self.parameters
+        bound = parameters.bound
+        per_k: dict[int, frozenset[Pattern]] = {}
+
+        state = top_down_search(counter, bound, parameters.k_min, parameters.tau_s, stats)
+        # k-tilde bookkeeping: schedule[k] is the set of expanded patterns whose
+        # earliest possible violation is at k; k_tilde_of is the reverse index.
+        schedule: dict[int, set[Pattern]] = defaultdict(set)
+        k_tilde_of: dict[Pattern, int] = {}
+        for pattern, count in state.expanded.items():
+            self._schedule(bound, state, schedule, k_tilde_of, pattern, count, parameters.k_min,
+                           counter.dataset_size, stats)
+        per_k[parameters.k_min] = state.most_general()
+
+        for k in range(parameters.k_min + 1, parameters.k_max + 1):
+            self._incremental_step(counter, bound, state, schedule, k_tilde_of, k, stats)
+            per_k[k] = state.most_general()
+        return per_k
+
+    # -- k-tilde bookkeeping ---------------------------------------------------
+    def _schedule(
+        self,
+        bound: BoundSpec,
+        state: SearchState,
+        schedule: dict[int, set[Pattern]],
+        k_tilde_of: dict[Pattern, int],
+        pattern: Pattern,
+        count: int,
+        k: int,
+        dataset_size: int,
+        stats: SearchStats,
+    ) -> None:
+        """(Re)compute the k-tilde of an expanded ``pattern`` given its current count."""
+        self._unschedule(schedule, k_tilde_of, pattern)
+        k_tilde = bound.next_violation_k(
+            count, k, self.parameters.k_max, state.sizes[pattern], dataset_size
+        )
+        if k_tilde is not None:
+            k_tilde_of[pattern] = k_tilde
+            schedule[k_tilde].add(pattern)
+            stats.bump("k_tilde_scheduled")
+
+    @staticmethod
+    def _unschedule(
+        schedule: dict[int, set[Pattern]],
+        k_tilde_of: dict[Pattern, int],
+        pattern: Pattern,
+    ) -> None:
+        previous = k_tilde_of.pop(pattern, None)
+        if previous is not None:
+            schedule[previous].discard(pattern)
+
+    # -- incremental step --------------------------------------------------------
+    def _incremental_step(
+        self,
+        counter: PatternCounter,
+        bound: BoundSpec,
+        state: SearchState,
+        schedule: dict[int, set[Pattern]],
+        k_tilde_of: dict[Pattern, int],
+        k: int,
+        stats: SearchStats,
+    ) -> None:
+        dataset_size = counter.dataset_size
+        tau_s = self.parameters.tau_s
+        tree = counter.tree
+        queue: deque[Pattern] = deque()
+        stats.bump("incremental_steps")
+
+        # Step 1a: expanded patterns satisfied by the new tuple R(D)[k].
+        touched_expanded = [p for p in state.expanded if counter.row_satisfies(k, p)]
+        for pattern in touched_expanded:
+            new_count = state.expanded[pattern] + 1
+            stats.nodes_evaluated += 1
+            if new_count < bound.lower(k, state.sizes[pattern], dataset_size):
+                # The bound grew faster than the count: the pattern is now biased.
+                del state.expanded[pattern]
+                state.below[pattern] = new_count
+                self._unschedule(schedule, k_tilde_of, pattern)
+            else:
+                state.expanded[pattern] = new_count
+                self._schedule(bound, state, schedule, k_tilde_of, pattern, new_count, k,
+                               dataset_size, stats)
+
+        # Step 1b: below-bound patterns satisfied by the new tuple.
+        touched_below = [p for p in state.below if counter.row_satisfies(k, p)]
+        for pattern in touched_below:
+            new_count = state.below[pattern] + 1
+            stats.nodes_evaluated += 1
+            if new_count < bound.lower(k, state.sizes[pattern], dataset_size):
+                state.below[pattern] = new_count
+            else:
+                del state.below[pattern]
+                state.expanded[pattern] = new_count
+                self._schedule(bound, state, schedule, k_tilde_of, pattern, new_count, k,
+                               dataset_size, stats)
+                children = list(tree.children(pattern))
+                stats.nodes_generated += len(children)
+                queue.extend(children)
+
+        # Step 2: resume the top-down search underneath the newly expanded patterns.
+        while queue:
+            pattern = queue.popleft()
+            if state.is_visited(pattern):
+                continue
+            size = counter.size(pattern)
+            stats.size_computations += 1
+            if size < tau_s:
+                continue
+            state.sizes[pattern] = size
+            count = counter.top_k_count(pattern, k)
+            stats.nodes_evaluated += 1
+            if count < bound.lower(k, size, dataset_size):
+                state.below[pattern] = count
+            else:
+                state.expanded[pattern] = count
+                self._schedule(bound, state, schedule, k_tilde_of, pattern, count, k,
+                               dataset_size, stats)
+                children = list(tree.children(pattern))
+                stats.nodes_generated += len(children)
+                queue.extend(children)
+
+        # Step 3: expanded patterns whose k-tilde is due (and were not bumped past it).
+        due = schedule.pop(k, set())
+        for pattern in due:
+            if pattern not in state.expanded:
+                continue
+            k_tilde_of.pop(pattern, None)
+            count = state.expanded[pattern]
+            stats.nodes_evaluated += 1
+            if count < bound.lower(k, state.sizes[pattern], dataset_size):
+                del state.expanded[pattern]
+                state.below[pattern] = count
+            else:
+                self._schedule(bound, state, schedule, k_tilde_of, pattern, count, k,
+                               dataset_size, stats)

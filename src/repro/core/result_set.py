@@ -1,0 +1,174 @@
+"""Result containers for the detection algorithms.
+
+:class:`MostGeneralSet` maintains an antichain of patterns under the subsumption
+order — exactly the "most general patterns" the problem definitions ask for.
+:class:`DetectionResult` maps each ``k`` in the requested range to its set of
+detected groups and offers the ranking/formatting helpers suggested in Section III
+("a user-friendly interface would organize the output by k value and rank the groups
+by their overall size in the data or by the bias in their representation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.pattern import Pattern
+
+
+class MostGeneralSet:
+    """An antichain of patterns: no member is a (proper) subset of another.
+
+    ``add`` enforces the most-general invariant: a pattern subsumed by an existing
+    member is rejected, and adding a pattern removes any existing members that it
+    subsumes.
+    """
+
+    def __init__(self, patterns: Iterable[Pattern] = ()) -> None:
+        self._patterns: set[Pattern] = set()
+        for pattern in patterns:
+            self.add(pattern)
+
+    def add(self, pattern: Pattern) -> bool:
+        """Insert ``pattern`` if no more-general member exists.
+
+        Returns ``True`` when the pattern was inserted, ``False`` when an existing
+        member already subsumes it.
+        """
+        if self.contains_subset_of(pattern):
+            return False
+        self._patterns = {member for member in self._patterns if not pattern.is_proper_subset_of(member)}
+        self._patterns.add(pattern)
+        return True
+
+    def discard(self, pattern: Pattern) -> None:
+        self._patterns.discard(pattern)
+
+    def contains_subset_of(self, pattern: Pattern) -> bool:
+        """Whether some member is a (non-strict) subset of ``pattern``."""
+        return any(member.is_subset_of(pattern) for member in self._patterns)
+
+    def contains_proper_subset_of(self, pattern: Pattern) -> bool:
+        """Whether some member is a proper subset of ``pattern``."""
+        return any(member.is_proper_subset_of(pattern) for member in self._patterns)
+
+    def __contains__(self, pattern: object) -> bool:
+        return pattern in self._patterns
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __repr__(self) -> str:
+        return f"MostGeneralSet({sorted(p.describe() for p in self._patterns)})"
+
+    def as_frozenset(self) -> frozenset[Pattern]:
+        return frozenset(self._patterns)
+
+
+def minimal_patterns(patterns: Iterable[Pattern]) -> frozenset[Pattern]:
+    """The minimal elements of ``patterns`` under the subset (generality) order.
+
+    Shorter patterns are more general; processing patterns by increasing length means
+    a pattern only needs to be checked against already-accepted shorter patterns.
+    """
+    accepted: list[Pattern] = []
+    for pattern in sorted(set(patterns), key=len):
+        if not any(member.is_subset_of(pattern) for member in accepted):
+            accepted.append(pattern)
+    return frozenset(accepted)
+
+
+@dataclass(frozen=True)
+class DetectedGroup:
+    """One detected group at one value of ``k``, with its bias context."""
+
+    pattern: Pattern
+    k: int
+    size_in_data: int
+    count_in_top_k: int
+    bound: float
+
+    @property
+    def bias_gap(self) -> float:
+        """How far below the required representation the group falls."""
+        return self.bound - self.count_in_top_k
+
+    def describe(self) -> str:
+        return (
+            f"k={self.k}: {{{self.pattern.describe()}}} size={self.size_in_data} "
+            f"top-k count={self.count_in_top_k} required>={self.bound:.2f}"
+        )
+
+
+class DetectionResult(Mapping[int, frozenset[Pattern]]):
+    """Per-``k`` sets of most general patterns with biased representation."""
+
+    def __init__(self, per_k: Mapping[int, Iterable[Pattern]]) -> None:
+        self._per_k: dict[int, frozenset[Pattern]] = {
+            k: frozenset(patterns) for k, patterns in sorted(per_k.items())
+        }
+
+    # -- Mapping protocol -------------------------------------------------------
+    def __getitem__(self, k: int) -> frozenset[Pattern]:
+        return self._per_k[k]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._per_k)
+
+    def __len__(self) -> int:
+        return len(self._per_k)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DetectionResult):
+            return self._per_k == other._per_k
+        if isinstance(other, Mapping):
+            return self._per_k == {k: frozenset(v) for k, v in other.items()}
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        sizes = {k: len(patterns) for k, patterns in self._per_k.items()}
+        return f"DetectionResult(ks={list(self._per_k)}, groups_per_k={sizes})"
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def k_values(self) -> tuple[int, ...]:
+        return tuple(self._per_k)
+
+    def groups_at(self, k: int) -> frozenset[Pattern]:
+        """The detected groups at ``k`` (empty set if ``k`` was not searched)."""
+        return self._per_k.get(k, frozenset())
+
+    def all_groups(self) -> frozenset[Pattern]:
+        """Union of the detected groups over every ``k``."""
+        union: set[Pattern] = set()
+        for patterns in self._per_k.values():
+            union.update(patterns)
+        return frozenset(union)
+
+    def total_reported(self) -> int:
+        """Total number of (k, group) pairs reported."""
+        return sum(len(patterns) for patterns in self._per_k.values())
+
+    def max_groups_per_k(self) -> int:
+        """The largest number of groups reported for any single ``k``."""
+        if not self._per_k:
+            return 0
+        return max(len(patterns) for patterns in self._per_k.values())
+
+    def first_detection_k(self, pattern: Pattern) -> int | None:
+        """The smallest ``k`` at which ``pattern`` is reported, or ``None``."""
+        for k, patterns in self._per_k.items():
+            if pattern in patterns:
+                return k
+        return None
+
+    def to_table(self) -> list[tuple[int, str]]:
+        """Flatten into ``(k, description)`` rows ordered by k then description."""
+        rows: list[tuple[int, str]] = []
+        for k, patterns in self._per_k.items():
+            for description in sorted(pattern.describe() for pattern in patterns):
+                rows.append((k, description))
+        return rows

@@ -1,0 +1,114 @@
+"""JSON serialisation of patterns, detection results and reports.
+
+A detection run over a large dataset can take a while; persisting its output lets an
+analyst re-load the detected groups later (e.g. to run the Shapley analysis of
+Section V, or to render a dashboard) without re-running the search.  The format is
+plain JSON so the results can also be consumed outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.detector import DetectionReport
+from repro.core.pattern import Pattern
+from repro.core.result_set import DetectionResult
+from repro.exceptions import DetectionError
+
+#: Format identifier written into every file, bumped on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def pattern_to_dict(pattern: Pattern) -> dict[str, object]:
+    """A JSON-compatible representation of a pattern."""
+    return dict(pattern.items_tuple)
+
+
+def pattern_from_dict(data: Mapping[str, object]) -> Pattern:
+    """Inverse of :func:`pattern_to_dict`."""
+    return Pattern(dict(data))
+
+
+def result_to_dict(result: DetectionResult) -> dict[str, object]:
+    """A JSON-compatible representation of a per-k detection result."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "per_k": {
+            str(k): [pattern_to_dict(pattern) for pattern in sorted(
+                result.groups_at(k), key=lambda p: p.describe()
+            )]
+            for k in result.k_values
+        },
+    }
+
+
+def result_from_dict(data: Mapping[str, object]) -> DetectionResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DetectionError(
+            f"unsupported detection-result format version {version!r}; expected {FORMAT_VERSION}"
+        )
+    per_k_raw = data.get("per_k")
+    if not isinstance(per_k_raw, Mapping):
+        raise DetectionError("malformed detection-result payload: missing 'per_k' mapping")
+    per_k: dict[int, list[Pattern]] = {}
+    for k_text, patterns in per_k_raw.items():
+        try:
+            k = int(k_text)
+        except (TypeError, ValueError):
+            raise DetectionError(f"malformed detection-result payload: bad k value {k_text!r}") from None
+        per_k[k] = [pattern_from_dict(pattern) for pattern in patterns]
+    return DetectionResult(per_k)
+
+
+def report_to_dict(report: DetectionReport) -> dict[str, object]:
+    """A JSON-compatible representation of a full detection report.
+
+    Besides the per-k groups, the per-group context (size, top-k count, bound) and
+    the search statistics are included so the file is self-describing.
+    """
+    payload = result_to_dict(report.result)
+    payload["algorithm"] = report.algorithm
+    payload["parameters"] = {
+        "tau_s": report.parameters.tau_s,
+        "k_min": report.parameters.k_min,
+        "k_max": report.parameters.k_max,
+        "bound": repr(report.parameters.bound),
+    }
+    payload["stats"] = report.stats.as_dict()
+    payload["groups"] = {
+        str(k): [
+            {
+                "pattern": pattern_to_dict(group.pattern),
+                "size_in_data": group.size_in_data,
+                "count_in_top_k": group.count_in_top_k,
+                "bound": group.bound,
+            }
+            for group in report.detailed_groups(k)
+        ]
+        for k in report.result.k_values
+    }
+    return payload
+
+
+def save_result(result: DetectionResult | DetectionReport, path: str | Path) -> None:
+    """Write a detection result or full report to ``path`` as JSON."""
+    path = Path(path)
+    if isinstance(result, DetectionReport):
+        payload = report_to_dict(result)
+    else:
+        payload = result_to_dict(result)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def load_result(path: str | Path) -> DetectionResult:
+    """Load the per-k detection result stored at ``path`` (works for both formats)."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise DetectionError(f"{path} does not contain valid JSON: {error}") from None
+    return result_from_dict(data)

@@ -1,0 +1,98 @@
+"""Top-down search over the pattern graph (Algorithm 1 of the paper).
+
+The search traverses the search tree (Definition 4.1) in level order starting from
+the children of the empty pattern.  A node is pruned when its size in the dataset is
+below the size threshold ``tau_s`` (its descendants can only be smaller); a node
+whose top-k count is below the lower bound becomes a *below* leaf (its descendants
+cannot be most general); all other nodes are *expanded* and their children enqueued.
+
+The function returns the full classification (:class:`SearchState`) rather than just
+the most general patterns, because the optimized algorithms (GlobalBounds and
+PropBounds) resume their incremental searches from this state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.bounds import BoundSpec
+from repro.core.pattern import EMPTY_PATTERN, Pattern
+from repro.core.pattern_graph import PatternCounter
+from repro.core.result_set import minimal_patterns
+from repro.core.stats import SearchStats
+
+
+@dataclass
+class SearchState:
+    """The classification of every pattern visited by a top-down search.
+
+    ``below`` maps below-bound leaves to their current top-k count, ``expanded`` maps
+    expanded nodes to their current top-k count, and ``sizes`` caches ``s_D(p)`` for
+    every visited pattern with adequate size.  ``below`` corresponds to
+    ``Res ∪ DRes`` of the paper's Algorithm 2: the most general patterns are exactly
+    the minimal elements of ``below``.
+    """
+
+    below: dict[Pattern, int] = field(default_factory=dict)
+    expanded: dict[Pattern, int] = field(default_factory=dict)
+    sizes: dict[Pattern, int] = field(default_factory=dict)
+
+    def most_general(self) -> frozenset[Pattern]:
+        """The most general below-bound patterns (the result set for the current k)."""
+        return minimal_patterns(self.below)
+
+    def is_visited(self, pattern: Pattern) -> bool:
+        return pattern in self.below or pattern in self.expanded
+
+
+def top_down_search(
+    counter: PatternCounter,
+    bound: BoundSpec,
+    k: int,
+    tau_s: int,
+    stats: SearchStats | None = None,
+) -> SearchState:
+    """Run Algorithm 1 for a single ``k`` and return the resulting search state.
+
+    Parameters
+    ----------
+    counter:
+        Memoised size / top-k-count oracle over the dataset and its ranking.
+    bound:
+        Lower-bound specification (global or proportional).
+    k:
+        The prefix length to analyse.
+    tau_s:
+        Minimum group size in the dataset (patterns smaller than ``tau_s`` are
+        pruned together with their descendants).
+    stats:
+        Optional statistics collector.
+    """
+    stats = stats if stats is not None else SearchStats()
+    stats.full_searches += 1
+    tree = counter.tree
+    dataset_size = counter.dataset_size
+    state = SearchState()
+
+    roots = list(tree.children(EMPTY_PATTERN))
+    stats.nodes_generated += len(roots)
+    queue: deque[Pattern] = deque(roots)
+
+    while queue:
+        pattern = queue.popleft()
+        size = counter.size(pattern)
+        stats.size_computations += 1
+        if size < tau_s:
+            continue
+        state.sizes[pattern] = size
+        count = counter.top_k_count(pattern, k)
+        stats.nodes_evaluated += 1
+        if count < bound.lower(k, size, dataset_size):
+            state.below[pattern] = count
+        else:
+            state.expanded[pattern] = count
+            children = list(tree.children(pattern))
+            stats.nodes_generated += len(children)
+            queue.extend(children)
+    return state

@@ -1,0 +1,27 @@
+"""Relational data substrate: schemas, datasets, bucketization, CSV I/O, generators."""
+
+from repro.data.bucketize import Bucketization, bucketize, equal_frequency, equal_width
+from repro.data.csv_io import load_dataset, save_dataset
+from repro.data.dataset import Dataset
+from repro.data.hardness import HardnessInstance, expected_result_size, hardness_instance
+from repro.data.schema import Attribute, Schema
+from repro.data.synthetic import SCORE_COLUMN, SyntheticSpec, random_spec, synthetic_dataset
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Dataset",
+    "Bucketization",
+    "bucketize",
+    "equal_width",
+    "equal_frequency",
+    "load_dataset",
+    "save_dataset",
+    "SyntheticSpec",
+    "synthetic_dataset",
+    "random_spec",
+    "SCORE_COLUMN",
+    "HardnessInstance",
+    "hardness_instance",
+    "expected_result_size",
+]

@@ -1,0 +1,123 @@
+"""Bucketization of continuous attributes into categorical ranges.
+
+The paper assumes that attributes used for group definitions are categorical and
+renders continuous attributes categorical "by bucketizing them into ranges"
+(Section II-A); the experiments bucketize continuous attributes such as ``age``
+"equally into 3-4 bins, based on their domain and values" (Section VI-A).  This
+module provides the two standard strategies (equal-width and equal-frequency) and a
+human-readable labelling of the resulting ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class Bucketization:
+    """The result of bucketizing a numeric column.
+
+    Attributes
+    ----------
+    labels:
+        One label per input value, e.g. ``"[18.0, 35.0)"``.
+    edges:
+        The ``n_bins + 1`` bin edges.  The final bin is closed on both sides.
+    bin_indices:
+        The bin index of every input value.
+    """
+
+    labels: tuple[str, ...]
+    edges: tuple[float, ...]
+    bin_indices: tuple[int, ...]
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.edges) - 1
+
+    def label_of_bin(self, index: int) -> str:
+        """Render the label of bin ``index``."""
+        return _format_bin(self.edges, index)
+
+    def apply(self, values: Sequence[float]) -> list[str]:
+        """Bucketize new values using the edges computed on the original column."""
+        return [_format_bin(self.edges, _locate(self.edges, float(v))) for v in values]
+
+
+def _format_bin(edges: Sequence[float], index: int) -> str:
+    lo, hi = edges[index], edges[index + 1]
+    closing = "]" if index == len(edges) - 2 else ")"
+    return f"[{lo:g}, {hi:g}{closing}"
+
+
+def _locate(edges: Sequence[float], value: float) -> int:
+    """Return the bin index of ``value``, clamping values outside the edge range."""
+    n_bins = len(edges) - 1
+    if value <= edges[0]:
+        return 0
+    if value >= edges[-1]:
+        return n_bins - 1
+    index = int(np.searchsorted(edges, value, side="right")) - 1
+    return min(max(index, 0), n_bins - 1)
+
+
+def equal_width(values: Sequence[float], bins: int) -> Bucketization:
+    """Split the value range into ``bins`` intervals of equal width."""
+    return _bucketize(values, _equal_width_edges(values, bins))
+
+
+def equal_frequency(values: Sequence[float], bins: int) -> Bucketization:
+    """Split the values into ``bins`` quantile-based intervals of (roughly) equal count."""
+    return _bucketize(values, _equal_frequency_edges(values, bins))
+
+
+def bucketize(values: Sequence[float], bins: int, method: str = "width") -> Bucketization:
+    """Bucketize ``values`` using ``method`` (``"width"`` or ``"frequency"``)."""
+    if method == "width":
+        return equal_width(values, bins)
+    if method == "frequency":
+        return equal_frequency(values, bins)
+    raise DatasetError(f"unknown bucketization method {method!r}; use 'width' or 'frequency'")
+
+
+def _validate(values: Sequence[float], bins: int) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise DatasetError("bucketization requires a non-empty 1-dimensional numeric column")
+    if not np.isfinite(array).all():
+        raise DatasetError("bucketization does not support NaN or infinite values")
+    if bins < 1:
+        raise DatasetError("the number of bins must be at least 1")
+    return array
+
+
+def _equal_width_edges(values: Sequence[float], bins: int) -> np.ndarray:
+    array = _validate(values, bins)
+    lo, hi = float(array.min()), float(array.max())
+    if lo == hi:
+        # A constant column gets a single degenerate bin that still matches every value.
+        hi = lo + 1.0
+        bins = 1
+    return np.linspace(lo, hi, bins + 1)
+
+def _equal_frequency_edges(values: Sequence[float], bins: int) -> np.ndarray:
+    array = _validate(values, bins)
+    quantiles = np.linspace(0.0, 1.0, bins + 1)
+    edges = np.quantile(array, quantiles)
+    edges = np.unique(edges)
+    if len(edges) < 2:
+        edges = np.array([edges[0], edges[0] + 1.0])
+    return edges
+
+
+def _bucketize(values: Sequence[float], edges: np.ndarray) -> Bucketization:
+    array = np.asarray(values, dtype=float)
+    edge_tuple = tuple(float(edge) for edge in edges)
+    indices = tuple(_locate(edge_tuple, float(value)) for value in array)
+    labels = tuple(_format_bin(edge_tuple, index) for index in indices)
+    return Bucketization(labels=labels, edges=edge_tuple, bin_indices=indices)

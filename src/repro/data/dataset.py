@@ -1,0 +1,272 @@
+"""A compact relational table of categorical attributes plus optional numeric columns.
+
+:class:`Dataset` is the substrate every other module builds on:
+
+* the *categorical* attributes (described by a :class:`~repro.data.schema.Schema`)
+  are stored as an integer-coded matrix so that pattern matching reduces to
+  vectorised equality tests;
+* *numeric* side columns (scores, grades, counts, ...) are kept alongside the coded
+  matrix — they are not usable in patterns, but the ranking algorithms and the
+  regression models of the explainer consume them.
+
+The class is immutable by convention: all "mutating" operations (``take``,
+``project``, ``with_numeric`` ...) return new instances that share no state with the
+original beyond read-only numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.exceptions import DatasetError, UnknownAttributeError
+
+_CODE_DTYPE = np.int32
+
+
+class Dataset:
+    """An immutable table of categorical attributes with optional numeric columns."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        codes: np.ndarray,
+        numeric: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        codes = np.asarray(codes, dtype=_CODE_DTYPE)
+        if codes.ndim != 2:
+            raise DatasetError("codes must be a 2-dimensional array of shape (rows, attributes)")
+        if codes.shape[1] != len(schema):
+            raise DatasetError(
+                f"codes has {codes.shape[1]} columns but the schema declares {len(schema)} attributes"
+            )
+        for column_index, attribute in enumerate(schema):
+            column = codes[:, column_index]
+            if column.size and (column.min() < 0 or column.max() >= attribute.cardinality):
+                raise DatasetError(
+                    f"column {attribute.name!r} contains codes outside its domain of size "
+                    f"{attribute.cardinality}"
+                )
+        self._schema = schema
+        self._codes = codes
+        self._codes.setflags(write=False)
+        numeric = dict(numeric or {})
+        self._numeric: dict[str, np.ndarray] = {}
+        for name, values in numeric.items():
+            values = np.asarray(values, dtype=float)
+            if values.shape != (codes.shape[0],):
+                raise DatasetError(
+                    f"numeric column {name!r} has length {values.shape} but the dataset has "
+                    f"{codes.shape[0]} rows"
+                )
+            values.setflags(write=False)
+            self._numeric[name] = values
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        names: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        numeric: Mapping[str, Sequence[float]] | None = None,
+        schema: Schema | None = None,
+    ) -> "Dataset":
+        """Build a dataset from raw categorical rows.
+
+        ``schema`` may be supplied to fix attribute domains (e.g. to share the
+        encoding between two datasets); otherwise it is inferred from the rows.
+        """
+        rows = [tuple(row) for row in rows]
+        if schema is None:
+            schema = Schema.from_rows(names, rows)
+        elif tuple(names) != schema.names:
+            raise DatasetError("explicit schema attribute names must match the supplied names")
+        codes = np.empty((len(rows), len(schema)), dtype=_CODE_DTYPE)
+        for row_index, row in enumerate(rows):
+            if len(row) != len(schema):
+                raise DatasetError(
+                    f"row {row_index} has {len(row)} values but the schema declares {len(schema)}"
+                )
+            for column_index, attribute in enumerate(schema):
+                codes[row_index, column_index] = attribute.code(row[column_index])
+        return cls(schema, codes, numeric)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, Sequence[object]],
+        numeric: Mapping[str, Sequence[float]] | None = None,
+        schema: Schema | None = None,
+    ) -> "Dataset":
+        """Build a dataset from an ``{attribute: values}`` mapping of categorical columns."""
+        names = list(columns)
+        if not names:
+            raise DatasetError("at least one categorical column is required")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) != 1:
+            raise DatasetError(f"categorical columns have inconsistent lengths: {sorted(lengths)}")
+        rows = list(zip(*(columns[name] for name in names)))
+        if not rows:
+            rows = []
+        return cls.from_rows(names, rows, numeric=numeric, schema=schema)
+
+    # -- basic accessors ------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The integer-coded categorical matrix of shape ``(n_rows, n_attributes)``."""
+        return self._codes
+
+    @property
+    def n_rows(self) -> int:
+        return int(self._codes.shape[0])
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self._schema)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    @property
+    def numeric_names(self) -> tuple[str, ...]:
+        return tuple(self._numeric)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(rows={self.n_rows}, attributes={list(self.attribute_names)}, "
+            f"numeric={list(self.numeric_names)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        if self._schema != other._schema or self.numeric_names != other.numeric_names:
+            return False
+        if not np.array_equal(self._codes, other._codes):
+            return False
+        return all(
+            np.allclose(self._numeric[name], other._numeric[name], equal_nan=True)
+            for name in self._numeric
+        )
+
+    # -- column / row access --------------------------------------------------
+    def column_codes(self, name: str) -> np.ndarray:
+        """Integer codes of categorical attribute ``name``."""
+        return self._codes[:, self._schema.index(name)]
+
+    def column(self, name: str) -> np.ndarray:
+        """Decoded values of categorical attribute ``name`` (object array)."""
+        attribute = self._schema.attribute(name)
+        values = np.asarray(attribute.values, dtype=object)
+        return values[self.column_codes(name)]
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """Numeric side column ``name``."""
+        try:
+            return self._numeric[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self.numeric_names) from None
+
+    def has_numeric(self, name: str) -> bool:
+        return name in self._numeric
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return row ``index`` as an ``{attribute: value}`` dict (categorical only)."""
+        return {
+            attribute.name: attribute.value(int(self._codes[index, column_index]))
+            for column_index, attribute in enumerate(self._schema)
+        }
+
+    def full_row(self, index: int) -> dict[str, object]:
+        """Return row ``index`` including numeric side columns."""
+        row = self.row(index)
+        for name, values in self._numeric.items():
+            row[name] = float(values[index])
+        return row
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        for index in range(self.n_rows):
+            yield self.row(index)
+
+    def to_rows(self) -> list[tuple[object, ...]]:
+        """Materialise the categorical part as a list of value tuples."""
+        return [tuple(row[name] for name in self.attribute_names) for row in self.iter_rows()]
+
+    def value_counts(self, name: str) -> dict[object, int]:
+        """Histogram of the values of categorical attribute ``name``."""
+        attribute = self._schema.attribute(name)
+        counts = np.bincount(self.column_codes(name), minlength=attribute.cardinality)
+        return {attribute.value(code): int(count) for code, count in enumerate(counts)}
+
+    # -- pattern matching -----------------------------------------------------
+    def match_mask(self, assignment: Mapping[str, object]) -> np.ndarray:
+        """Boolean mask of rows satisfying the value ``assignment``.
+
+        The empty assignment matches every row, mirroring the empty (most general)
+        pattern of the paper.
+        """
+        mask = np.ones(self.n_rows, dtype=bool)
+        for name, value in assignment.items():
+            attribute = self._schema.attribute(name)
+            mask &= self.column_codes(name) == attribute.code(value)
+        return mask
+
+    def count(self, assignment: Mapping[str, object]) -> int:
+        """Number of rows satisfying the value ``assignment`` (``s_D(p)`` in the paper)."""
+        return int(self.match_mask(assignment).sum())
+
+    def satisfies(self, index: int, assignment: Mapping[str, object]) -> bool:
+        """Whether row ``index`` satisfies the value ``assignment``."""
+        for name, value in assignment.items():
+            attribute = self._schema.attribute(name)
+            if int(self._codes[index, self._schema.index(name)]) != attribute.code(value):
+                return False
+        return True
+
+    # -- derived datasets -----------------------------------------------------
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """Return a new dataset containing the rows ``indices`` in the given order."""
+        indices = np.asarray(indices, dtype=np.intp)
+        codes = self._codes[indices]
+        numeric = {name: values[indices] for name, values in self._numeric.items()}
+        return Dataset(self._schema, codes, numeric)
+
+    def head(self, n: int) -> "Dataset":
+        """Return the first ``n`` rows (useful for materialising a top-k prefix)."""
+        return self.take(np.arange(min(n, self.n_rows)))
+
+    def filter(self, assignment: Mapping[str, object]) -> "Dataset":
+        """Return the sub-dataset of rows satisfying ``assignment``."""
+        return self.take(np.flatnonzero(self.match_mask(assignment)))
+
+    def project(self, names: Sequence[str], keep_numeric: bool = True) -> "Dataset":
+        """Restrict the categorical attributes to ``names`` (numeric columns kept by default)."""
+        names = list(names)
+        schema = self._schema.project(names)
+        column_indices = [self._schema.index(name) for name in names]
+        codes = self._codes[:, column_indices]
+        numeric = dict(self._numeric) if keep_numeric else {}
+        return Dataset(schema, codes, numeric)
+
+    def with_numeric(self, name: str, values: Sequence[float]) -> "Dataset":
+        """Return a copy with numeric column ``name`` added or replaced."""
+        numeric = dict(self._numeric)
+        numeric[name] = np.asarray(values, dtype=float)
+        return Dataset(self._schema, self._codes, numeric)
+
+    def drop_numeric(self, name: str) -> "Dataset":
+        """Return a copy without numeric column ``name``."""
+        if name not in self._numeric:
+            raise UnknownAttributeError(name, self.numeric_names)
+        numeric = {key: values for key, values in self._numeric.items() if key != name}
+        return Dataset(self._schema, self._codes, numeric)

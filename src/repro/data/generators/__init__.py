@@ -1,0 +1,19 @@
+"""Synthetic dataset generators mirroring the datasets of the paper's evaluation.
+
+Each generator reproduces the schema (attribute names, domains, cardinalities), the
+row count, and the score/attribute correlation structure of the corresponding real
+dataset; the substitution of synthetic for real data is documented in DESIGN.md.
+"""
+
+from repro.data.generators.compas import compas_dataset
+from repro.data.generators.german_credit import german_credit_dataset
+from repro.data.generators.student import student_dataset
+from repro.data.generators.toy import figure1_order, students_toy
+
+__all__ = [
+    "compas_dataset",
+    "german_credit_dataset",
+    "student_dataset",
+    "students_toy",
+    "figure1_order",
+]

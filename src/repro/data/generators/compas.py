@@ -1,0 +1,156 @@
+"""Synthetic analogue of the ProPublica COMPAS recidivism dataset.
+
+The paper uses the COMPAS dataset (6,889 individuals, up to 16 categorical
+attributes after dropping names/ids/dates) and ranks tuples by a weighted sum of
+seven min-max-normalised scoring attributes, following the setup of Asudeh et al.
+[4]: ``c_days_from_compas``, ``juv_other_count``, ``days_b_screening_arrest``,
+``start``, ``end``, ``age`` and ``priors_count`` (higher is better except ``age``).
+
+The real extract is not available offline, so this generator reproduces the schema
+(attribute names, domains, cardinalities), the row count, and the joint structure
+that matters for the experiments:
+
+* the seven scoring attributes exist both as numeric side columns (consumed by the
+  ranker and the explainer) and as bucketized categorical attributes (usable in
+  patterns);
+* demographic attributes correlate with the scoring attributes the way the original
+  data does at a coarse level (younger defendants have more juvenile counts, prior
+  counts grow with age, violent/general decile scores track priors), which is what
+  drives which groups end up under-represented in the top-k.
+
+The substitution is documented in DESIGN.md; all draws are seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.bucketize import equal_width
+from repro.data.dataset import Dataset
+
+#: Default number of rows, matching the extract used in the paper.
+DEFAULT_ROWS = 6889
+
+#: Scoring attributes used by the ranking of [4]; ``age`` is the only one where a
+#: smaller value yields a better score.
+SCORE_ATTRIBUTES = (
+    "c_days_from_compas",
+    "juv_other_count",
+    "days_b_screening_arrest",
+    "start",
+    "end",
+    "age",
+    "priors_count",
+)
+
+RACES = ("African-American", "Caucasian", "Hispanic", "Other", "Asian", "Native American")
+AGE_CATEGORIES = ("younger than 35", "35 - 45", "older than 45")
+
+#: Categorical attribute order (16 attributes), used by the #attributes sweeps.
+ATTRIBUTE_ORDER = (
+    "sex",
+    "age_cat",
+    "race",
+    "juv_fel_count",
+    "juv_misd_count",
+    "juv_other_count",
+    "priors_count",
+    "c_charge_degree",
+    "decile_score",
+    "score_text",
+    "v_decile_score",
+    "two_year_recid",
+    "days_b_screening_arrest",
+    "c_days_from_compas",
+    "start",
+    "end",
+)
+
+
+def _age_category(ages: np.ndarray) -> list[str]:
+    categories = []
+    for age in ages:
+        if age < 35:
+            categories.append(AGE_CATEGORIES[0])
+        elif age <= 45:
+            categories.append(AGE_CATEGORIES[1])
+        else:
+            categories.append(AGE_CATEGORIES[2])
+    return categories
+
+
+def compas_dataset(n_rows: int = DEFAULT_ROWS, seed: int = 11) -> Dataset:
+    """Generate the synthetic COMPAS dataset (16 categorical attributes + 7 numeric)."""
+    rng = np.random.default_rng(seed)
+
+    sex = rng.choice(["Male", "Female"], size=n_rows, p=[0.81, 0.19])
+    race = rng.choice(RACES, size=n_rows, p=[0.51, 0.34, 0.08, 0.06, 0.005, 0.005])
+    age = np.clip(np.round(rng.gamma(shape=6.0, scale=5.8, size=n_rows)), 18, 96).astype(int)
+
+    juv_fel_count = np.minimum(rng.poisson(0.06, size=n_rows), 5)
+    juv_misd_count = np.minimum(rng.poisson(0.09, size=n_rows), 5)
+    # Younger defendants have more recent juvenile records.
+    juv_other_rate = np.where(age < 30, 0.25, 0.04)
+    juv_other_count = np.minimum(rng.poisson(juv_other_rate), 6)
+
+    # Priors accumulate with age but concentrate in a heavy tail.
+    priors_count = np.minimum(
+        rng.poisson(1.2 + 0.05 * np.maximum(age - 20, 0)), 38
+    ).astype(int)
+    c_charge_degree = rng.choice(["F", "M"], size=n_rows, p=[0.64, 0.36])
+
+    # Decile scores track priors and youth, as in the original risk-score data.
+    decile_raw = (
+        1.5
+        + 0.7 * priors_count
+        + 1.8 * (age < 25)
+        + 0.8 * (age < 35)
+        + rng.normal(scale=1.3, size=n_rows)
+    )
+    decile_score = np.clip(np.round(decile_raw), 1, 10).astype(int)
+    v_decile_score = np.clip(
+        np.round(decile_score + rng.normal(scale=1.4, size=n_rows)), 1, 10
+    ).astype(int)
+    score_text = np.where(decile_score <= 4, "Low", np.where(decile_score <= 7, "Medium", "High"))
+    recid_probability = np.clip(0.18 + 0.035 * decile_score, 0.0, 0.9)
+    two_year_recid = (rng.random(n_rows) < recid_probability).astype(int)
+
+    days_b_screening_arrest = np.clip(
+        np.round(rng.normal(loc=-1.0, scale=6.0, size=n_rows)), -30, 30
+    )
+    c_days_from_compas = np.minimum(rng.exponential(scale=28.0, size=n_rows), 900.0)
+    start = np.minimum(rng.exponential(scale=12.0, size=n_rows), 400.0)
+    # Most supervision spells end immediately (end = 0), a minority run long -- this
+    # is the skew behind the paper's Figure 10e distribution plot.
+    end_is_zero = rng.random(n_rows) < 0.55
+    end = np.where(end_is_zero, 0.0, np.minimum(rng.exponential(scale=220.0, size=n_rows), 1100.0))
+
+    columns: dict[str, list[object]] = {
+        "sex": list(sex),
+        "age_cat": _age_category(age),
+        "race": list(race),
+        "juv_fel_count": [int(v) for v in juv_fel_count],
+        "juv_misd_count": [int(v) for v in juv_misd_count],
+        "juv_other_count": [int(v) for v in juv_other_count],
+        "priors_count": list(equal_width(priors_count.astype(float), 4).labels),
+        "c_charge_degree": list(c_charge_degree),
+        "decile_score": [int(v) for v in decile_score],
+        "score_text": list(score_text),
+        "v_decile_score": [int(v) for v in v_decile_score],
+        "two_year_recid": [int(v) for v in two_year_recid],
+        "days_b_screening_arrest": list(equal_width(days_b_screening_arrest, 4).labels),
+        "c_days_from_compas": list(equal_width(c_days_from_compas, 4).labels),
+        "start": list(equal_width(start, 4).labels),
+        "end": list(equal_width(end, 3).labels),
+    }
+    numeric = {
+        "c_days_from_compas": c_days_from_compas.astype(float),
+        "juv_other_count": juv_other_count.astype(float),
+        "days_b_screening_arrest": days_b_screening_arrest.astype(float),
+        "start": start.astype(float),
+        "end": end.astype(float),
+        "age": age.astype(float),
+        "priors_count": priors_count.astype(float),
+    }
+    columns = {name: columns[name] for name in ATTRIBUTE_ORDER}
+    return Dataset.from_columns(columns, numeric=numeric)

@@ -1,0 +1,65 @@
+"""The running example of the paper (Figure 1).
+
+Sixteen students from two Portuguese schools with four categorical attributes
+(Gender, School, Address, Failures) and a numeric Grade.  The paper ranks students
+by grade, breaking ties by fewer past failures; the resulting order matches the
+"Rank" column of Figure 1 and is exercised extensively by the unit tests
+(Examples 2.3, 2.4, 2.5, 4.6, 4.7 and 4.9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+#: Rows of Figure 1 in tuple-id order: (gender, school, address, failures, grade).
+FIGURE1_ROWS: tuple[tuple[str, str, str, int, int], ...] = (
+    ("F", "MS", "R", 1, 11),
+    ("M", "MS", "R", 1, 15),
+    ("M", "GP", "U", 1, 8),
+    ("M", "GP", "U", 2, 4),
+    ("M", "MS", "R", 0, 19),
+    ("F", "MS", "U", 1, 4),
+    ("F", "GP", "R", 1, 7),
+    ("M", "GP", "R", 1, 6),
+    ("F", "MS", "R", 0, 14),
+    ("F", "MS", "R", 2, 7),
+    ("M", "MS", "R", 2, 13),
+    ("F", "GP", "U", 0, 20),
+    ("F", "GP", "U", 2, 12),
+    ("M", "MS", "U", 1, 13),
+    ("F", "GP", "U", 1, 5),
+    ("M", "GP", "U", 0, 9),
+)
+
+#: The "Rank" column of Figure 1, indexed by tuple id (1-based tuple ids -> rank).
+FIGURE1_RANKS: tuple[int, ...] = (8, 3, 10, 16, 2, 15, 11, 13, 4, 12, 6, 1, 7, 5, 14, 9)
+
+ATTRIBUTES = ("Gender", "School", "Address", "Failures")
+
+
+def students_toy() -> Dataset:
+    """Return the 16-row dataset of Figure 1.
+
+    The categorical attributes are Gender, School, Address and Failures; the numeric
+    side columns are ``Grade`` (the ranking score) and ``FailuresCount`` (used as the
+    tie-breaker by the running example's ranking algorithm).
+    """
+    rows = [(gender, school, address, failures) for gender, school, address, failures, _ in FIGURE1_ROWS]
+    grades = np.array([float(grade) for *_, grade in FIGURE1_ROWS])
+    failures = np.array([float(failures) for *_, failures, _ in FIGURE1_ROWS])
+    return Dataset.from_rows(
+        ATTRIBUTES,
+        rows,
+        numeric={"Grade": grades, "FailuresCount": failures},
+    )
+
+
+def figure1_order() -> tuple[int, ...]:
+    """Row indices (0-based) of Figure 1's ranking, best first.
+
+    ``figure1_order()[0]`` is the row index of the rank-1 student (tuple 12).
+    """
+    by_rank = sorted(range(len(FIGURE1_RANKS)), key=lambda index: FIGURE1_RANKS[index])
+    return tuple(by_rank)

@@ -1,0 +1,73 @@
+"""Worst-case construction of Theorem 3.3.
+
+The paper proves that no polynomial-time algorithm can enumerate all most general
+patterns with biased representation by constructing a dataset with ``n`` binary
+attributes and ``n + 1`` tuples for which the answer contains at least
+``C(n, n/2) > sqrt(2)^n`` patterns.  This module builds that dataset and the
+matching parameter settings so the construction can be exercised by tests and by the
+hardness benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class HardnessInstance:
+    """The Theorem 3.3 instance: dataset, ranking order and problem parameters."""
+
+    dataset: Dataset
+    order: tuple[int, ...]
+    k: int
+    lower_bound: int
+    alpha: float
+
+    @property
+    def n_attributes(self) -> int:
+        return self.dataset.n_attributes
+
+
+def hardness_instance(n: int) -> HardnessInstance:
+    """Build the Theorem 3.3 construction for an even ``n >= 2``.
+
+    The dataset has tuples ``t_1 .. t_n`` with ``t_i[A_i] = 1`` and zero elsewhere,
+    plus an all-zero tuple ``t_{n+1}``.  The ranking returns the tuples in index
+    order, ``k = n``, the global lower bound is ``n/2 + 1`` and the proportional
+    parameter is ``alpha = (n+3)/(n+4)``.
+    """
+    if n < 2 or n % 2 != 0:
+        raise DatasetError("the Theorem 3.3 construction requires an even n >= 2")
+    codes = np.zeros((n + 1, n), dtype=np.int32)
+    for index in range(n):
+        codes[index, index] = 1
+    schema = Schema(Attribute(f"A{index + 1}", (0, 1)) for index in range(n))
+    # Ranking score: tuple t_i is ranked at position i, so give it a descending score.
+    score = np.arange(n + 1, 0, -1, dtype=float)
+    dataset = Dataset(schema, codes, numeric={"score": score})
+    return HardnessInstance(
+        dataset=dataset,
+        order=tuple(range(n + 1)),
+        k=n,
+        lower_bound=n // 2 + 1,
+        alpha=(n + 3) / (n + 4),
+    )
+
+
+def expected_result_size(n: int) -> int:
+    """Number of most general biased patterns guaranteed by the construction.
+
+    These are exactly the patterns assigning ``0`` to ``n/2`` of the ``n``
+    attributes, i.e. ``C(n, n/2)`` patterns.
+    """
+    if n < 2 or n % 2 != 0:
+        raise DatasetError("the Theorem 3.3 construction requires an even n >= 2")
+    from math import comb
+
+    return comb(n, n // 2)

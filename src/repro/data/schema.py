@@ -1,0 +1,184 @@
+"""Schema objects describing the categorical attributes of a dataset.
+
+The detection algorithms of the paper operate over *categorical* attributes: group
+definitions (patterns) are value assignments drawn from each attribute's active
+domain.  A :class:`Schema` is an ordered collection of :class:`Attribute` objects;
+the order matters because the search tree of Definition 4.1 expands attributes by
+increasing index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownValueError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single categorical attribute and its active domain.
+
+    Parameters
+    ----------
+    name:
+        Attribute name as it appears in the relation.
+    values:
+        The active domain.  Values are stored in insertion order; their position is
+        the integer code used by :class:`repro.data.Dataset` to store rows compactly.
+    """
+
+    name: str
+    values: tuple[object, ...]
+    _code_of: Mapping[object, int] = field(repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        values = tuple(self.values)
+        if not values:
+            raise SchemaError(f"attribute {self.name!r} must have a non-empty domain")
+        if len(set(values)) != len(values):
+            raise SchemaError(f"attribute {self.name!r} has duplicate domain values")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_code_of", {value: code for code, value in enumerate(values)})
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values in the active domain."""
+        return len(self.values)
+
+    def code(self, value: object) -> int:
+        """Return the integer code of ``value``.
+
+        Raises
+        ------
+        UnknownValueError
+            If ``value`` is not part of the active domain.
+        """
+        try:
+            return self._code_of[value]
+        except KeyError:
+            raise UnknownValueError(self.name, value) from None
+
+    def value(self, code: int) -> object:
+        """Return the domain value stored under integer ``code``."""
+        try:
+            return self.values[code]
+        except IndexError:
+            raise UnknownValueError(self.name, code) from None
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._code_of
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+
+class Schema:
+    """An ordered collection of categorical attributes.
+
+    The attribute order defines the indices used by the search tree
+    (Definition 4.1 of the paper): children of a pattern may only add attributes
+    whose index is strictly larger than every index already present.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        self._attributes: tuple[Attribute, ...] = tuple(attributes)
+        if not self._attributes:
+            raise SchemaError("a schema must contain at least one attribute")
+        names = [attribute.name for attribute in self._attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError("schema contains duplicate attribute names")
+        self._index_of = {attribute.name: index for index, attribute in enumerate(self._attributes)}
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def from_rows(cls, names: Sequence[str], rows: Iterable[Sequence[object]]) -> "Schema":
+        """Infer a schema from raw rows by collecting each column's active domain.
+
+        Domain values are ordered by first appearance, which keeps the inferred
+        schema deterministic for a deterministic row order.
+        """
+        names = list(names)
+        domains: list[dict[object, None]] = [dict() for _ in names]
+        for row in rows:
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row width {len(row)} does not match the {len(names)} declared attributes"
+                )
+            for domain, value in zip(domains, row):
+                domain.setdefault(value, None)
+        attributes = [Attribute(name, tuple(domain)) for name, domain in zip(names, domains)]
+        return cls(attributes)
+
+    @classmethod
+    def from_domains(cls, domains: Mapping[str, Sequence[object]]) -> "Schema":
+        """Build a schema from an ``{attribute: domain}`` mapping (insertion ordered)."""
+        return cls(Attribute(name, tuple(values)) for name, values in domains.items())
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self._attributes)
+
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        return tuple(attribute.cardinality for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index_of
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, str):
+            return self._attributes[self.index(key)]
+        return self._attributes[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}({a.cardinality})" for a in self._attributes)
+        return f"Schema({parts})"
+
+    def index(self, name: str) -> int:
+        """Return the positional index of attribute ``name``."""
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self.names) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the :class:`Attribute` called ``name``."""
+        return self._attributes[self.index(name)]
+
+    # -- derived schemas ------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema(self.attribute(name) for name in names)
+
+    def total_patterns(self) -> int:
+        """Number of non-empty patterns definable over this schema.
+
+        Each attribute contributes ``cardinality + 1`` choices (one per value plus
+        "unconstrained"); the empty pattern is excluded.
+        """
+        total = 1
+        for attribute in self._attributes:
+            total *= attribute.cardinality + 1
+        return total - 1

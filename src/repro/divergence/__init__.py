@@ -1,0 +1,17 @@
+"""Divergence-based comparator of Section VI-D (re-implementation of Pastor et al.)."""
+
+from repro.divergence.divexplorer import (
+    DivergenceDetector,
+    DivergenceResult,
+    DivergentGroup,
+    reciprocal_rank_outcome,
+    top_k_outcome,
+)
+
+__all__ = [
+    "DivergenceDetector",
+    "DivergenceResult",
+    "DivergentGroup",
+    "top_k_outcome",
+    "reciprocal_rank_outcome",
+]

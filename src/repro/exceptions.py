@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers can
+catch library failures with a single ``except`` clause while still distinguishing
+the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A dataset schema is malformed or inconsistent with the supplied rows."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An operation referenced an attribute that is not part of the schema."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.available = tuple(available)
+        message = f"unknown attribute {name!r}"
+        if self.available:
+            message += f"; available attributes: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class UnknownValueError(SchemaError):
+    """A pattern or query referenced a value outside an attribute's active domain."""
+
+    def __init__(self, attribute: str, value: object) -> None:
+        self.attribute = attribute
+        self.value = value
+        super().__init__(f"value {value!r} is not in the active domain of attribute {attribute!r}")
+
+
+class DatasetError(ReproError):
+    """Generic dataset construction or access failure."""
+
+
+class RankingError(ReproError):
+    """A ranking algorithm received invalid input or produced an invalid order."""
+
+
+class BoundSpecError(ReproError):
+    """A bound specification (global or proportional) is invalid."""
+
+
+class DetectionError(ReproError):
+    """A detection algorithm was invoked with inconsistent parameters."""
+
+
+class ModelError(ReproError):
+    """A regression model in :mod:`repro.mlcore` was misused (e.g. predict before fit)."""
+
+
+class NotFittedError(ModelError):
+    """Prediction was requested from a model that has not been fitted."""
+
+
+class ExplanationError(ReproError):
+    """The Shapley-based result analysis received invalid input."""
+
+
+class ExperimentError(ReproError):
+    """An experiment/benchmark harness configuration is invalid."""

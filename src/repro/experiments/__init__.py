@@ -1,0 +1,62 @@
+"""Experiment harness: regenerates the data behind every figure of Section VI."""
+
+from repro.experiments.case_study import CaseStudyResult, divergence_case_study
+from repro.experiments.harness import (
+    ALGORITHMS,
+    RunMeasurement,
+    algorithms_for_problem,
+    measure_run,
+)
+from repro.experiments.reporting import format_series_summary, format_sweep, format_table
+from repro.experiments.result_size_survey import SurveySummary, result_size_survey
+from repro.experiments.search_gain import SearchGain, search_gain
+from repro.experiments.shapley_analysis import (
+    PAPER_FIGURE10_GROUPS,
+    ShapleyAnalysis,
+    shapley_analysis,
+)
+from repro.experiments.sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep_k_range,
+    sweep_num_attributes,
+    sweep_size_threshold,
+)
+from repro.experiments.workloads import (
+    Workload,
+    all_workloads,
+    compas_workload,
+    german_credit_workload,
+    student_workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "Workload",
+    "student_workload",
+    "compas_workload",
+    "german_credit_workload",
+    "all_workloads",
+    "workload_by_name",
+    "ALGORITHMS",
+    "RunMeasurement",
+    "measure_run",
+    "algorithms_for_problem",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_num_attributes",
+    "sweep_size_threshold",
+    "sweep_k_range",
+    "SearchGain",
+    "search_gain",
+    "SurveySummary",
+    "result_size_survey",
+    "ShapleyAnalysis",
+    "shapley_analysis",
+    "PAPER_FIGURE10_GROUPS",
+    "CaseStudyResult",
+    "divergence_case_study",
+    "format_table",
+    "format_sweep",
+    "format_series_summary",
+]

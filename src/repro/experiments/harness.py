@@ -1,0 +1,87 @@
+"""Measurement harness shared by the sweeps and benchmarks.
+
+One :func:`measure_run` call executes one detection algorithm on one dataset /
+ranking / parameter combination and records its runtime, search statistics and
+result size — the quantities the figures of Section VI-B plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.bounds import BoundSpec
+from repro.core.detector import DetectionReport
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.data.dataset import Dataset
+from repro.exceptions import ExperimentError
+from repro.ranking.base import Ranking
+
+#: Algorithm names accepted by the harness, mapped to detector classes.
+ALGORITHMS = {
+    "IterTD": IterTDDetector,
+    "GlobalBounds": GlobalBoundsDetector,
+    "PropBounds": PropBoundsDetector,
+}
+
+#: The algorithm pairings compared in the paper's figures.
+GLOBAL_PROBLEM_ALGORITHMS = ("IterTD", "GlobalBounds")
+PROPORTIONAL_PROBLEM_ALGORITHMS = ("IterTD", "PropBounds")
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """The outcome of one measured detection run."""
+
+    algorithm: str
+    seconds: float
+    nodes_evaluated: int
+    nodes_generated: int
+    total_reported: int
+    max_groups_per_k: int
+    report: DetectionReport
+
+    def as_row(self) -> tuple[str, float, int, int]:
+        return (self.algorithm, self.seconds, self.nodes_evaluated, self.total_reported)
+
+
+def algorithms_for_problem(problem: str) -> tuple[str, ...]:
+    """The (baseline, optimized) pairing the paper compares for ``problem``."""
+    if problem == "global":
+        return GLOBAL_PROBLEM_ALGORITHMS
+    if problem == "proportional":
+        return PROPORTIONAL_PROBLEM_ALGORITHMS
+    raise ExperimentError(f"unknown problem {problem!r}; expected 'global' or 'proportional'")
+
+
+def measure_run(
+    algorithm: str,
+    dataset: Dataset,
+    ranking: Ranking,
+    bound: BoundSpec,
+    tau_s: int,
+    k_min: int,
+    k_max: int,
+) -> RunMeasurement:
+    """Run one algorithm and record runtime, search statistics and result size."""
+    try:
+        detector_class = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    detector = detector_class(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+    started = time.perf_counter()
+    report = detector.detect(dataset, ranking)
+    elapsed = time.perf_counter() - started
+    return RunMeasurement(
+        algorithm=algorithm,
+        seconds=elapsed,
+        nodes_evaluated=report.stats.nodes_evaluated,
+        nodes_generated=report.stats.nodes_generated,
+        total_reported=report.result.total_reported(),
+        max_groups_per_k=report.result.max_groups_per_k(),
+        report=report,
+    )

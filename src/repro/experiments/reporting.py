@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as figures; in a terminal-only environment the
+equivalent information is emitted as aligned text tables (one row per measured
+point), which is what the benchmark harness prints and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.sweeps import SweepResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` as an aligned text table with ``headers``."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_sweep(result: SweepResult) -> str:
+    """Render a sweep result (one figure panel) as a text table."""
+    headers = (
+        "workload",
+        result.x_label,
+        "algorithm",
+        "seconds",
+        "patterns evaluated",
+        "groups reported",
+        "status",
+    )
+    title = f"{result.workload} / {result.problem} — runtime vs {result.x_label}"
+    return title + "\n" + format_table(headers, result.to_rows())
+
+
+def format_series_summary(result: SweepResult, baseline: str = "IterTD") -> str:
+    """One-line-per-x summary of the optimized algorithm's speedup over the baseline."""
+    speedups = result.speedup(baseline)
+    if not speedups:
+        return f"{result.workload} / {result.problem}: no comparable points"
+    parts = [f"{x:g}: {speedup:.2f}x" for x, speedup in sorted(speedups.items())]
+    return f"{result.workload} / {result.problem} speedup over {baseline} — " + ", ".join(parts)

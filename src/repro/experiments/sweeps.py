@@ -1,0 +1,221 @@
+"""Parameter sweeps reproducing the scalability figures of Section VI-B.
+
+Three sweeps are provided, one per figure family:
+
+* :func:`sweep_num_attributes` — runtime as a function of the number of attributes
+  (Figures 4 and 5);
+* :func:`sweep_size_threshold` — runtime as a function of the size threshold ``tau_s``
+  (Figures 6 and 7);
+* :func:`sweep_k_range` — runtime as a function of ``k_max`` (Figures 8 and 9).
+
+Each sweep runs the baseline (IterTD) and the optimized algorithm for the chosen
+problem over every x value and returns a :class:`SweepResult` holding one runtime
+series per algorithm.  Like the paper, a per-run timeout skips the remaining (larger)
+x values of an algorithm once it has exceeded the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.bounds import BoundSpec
+from repro.exceptions import ExperimentError
+from repro.experiments.harness import algorithms_for_problem, measure_run
+from repro.experiments.workloads import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x value, algorithm) measurement of a sweep."""
+
+    x: float
+    algorithm: str
+    seconds: float
+    nodes_evaluated: int
+    total_reported: int
+    timed_out: bool = False
+    skipped: bool = False
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep (one figure panel)."""
+
+    workload: str
+    problem: str
+    x_label: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, algorithm: str) -> list[SweepPoint]:
+        """The measurements of one algorithm, ordered by x."""
+        return sorted(
+            (point for point in self.points if point.algorithm == algorithm),
+            key=lambda point: point.x,
+        )
+
+    def algorithms(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.algorithm, None)
+        return tuple(seen)
+
+    def x_values(self) -> tuple[float, ...]:
+        return tuple(sorted({point.x for point in self.points}))
+
+    def speedup(self, baseline: str = "IterTD") -> dict[float, float]:
+        """Per-x speedup of the optimized algorithm over ``baseline`` (ratio of runtimes)."""
+        optimized = [name for name in self.algorithms() if name != baseline]
+        if len(optimized) != 1:
+            raise ExperimentError("speedup is defined for exactly one optimized algorithm")
+        optimized_name = optimized[0]
+        baseline_points = {p.x: p for p in self.series(baseline)}
+        speedups: dict[float, float] = {}
+        for point in self.series(optimized_name):
+            base = baseline_points.get(point.x)
+            if base is None or base.skipped or point.skipped or point.seconds == 0:
+                continue
+            speedups[point.x] = base.seconds / point.seconds
+        return speedups
+
+    def to_rows(self) -> list[tuple[str, float, str, float, int, int, str]]:
+        rows = []
+        for point in sorted(self.points, key=lambda p: (p.x, p.algorithm)):
+            status = "skipped" if point.skipped else ("timeout" if point.timed_out else "ok")
+            rows.append(
+                (
+                    self.workload,
+                    point.x,
+                    point.algorithm,
+                    point.seconds,
+                    point.nodes_evaluated,
+                    point.total_reported,
+                    status,
+                )
+            )
+        return rows
+
+
+def _bound_for(problem: str, workload: Workload) -> BoundSpec:
+    if problem == "global":
+        return workload.default_global_bounds()
+    if problem == "proportional":
+        return workload.default_proportional_bounds()
+    raise ExperimentError(f"unknown problem {problem!r}; expected 'global' or 'proportional'")
+
+
+def _run_series(
+    result: SweepResult,
+    workload: Workload,
+    problem: str,
+    x_values: Sequence[float],
+    run_one,
+    timeout_seconds: float,
+    algorithms: Sequence[str] | None,
+) -> SweepResult:
+    """Shared sweep loop: run every algorithm at every x, honouring the timeout."""
+    algorithm_names = tuple(algorithms) if algorithms else algorithms_for_problem(problem)
+    exhausted: set[str] = set()
+    for x in x_values:
+        for algorithm in algorithm_names:
+            if algorithm in exhausted:
+                result.points.append(
+                    SweepPoint(x=x, algorithm=algorithm, seconds=float("nan"),
+                               nodes_evaluated=0, total_reported=0, skipped=True)
+                )
+                continue
+            measurement = run_one(algorithm, x)
+            timed_out = measurement.seconds > timeout_seconds
+            if timed_out:
+                exhausted.add(algorithm)
+            result.points.append(
+                SweepPoint(
+                    x=x,
+                    algorithm=algorithm,
+                    seconds=measurement.seconds,
+                    nodes_evaluated=measurement.nodes_evaluated,
+                    total_reported=measurement.total_reported,
+                    timed_out=timed_out,
+                )
+            )
+    return result
+
+
+def sweep_num_attributes(
+    workload: Workload,
+    problem: str,
+    attribute_counts: Sequence[int] | None = None,
+    timeout_seconds: float = 600.0,
+    algorithms: Sequence[str] | None = None,
+) -> SweepResult:
+    """Runtime as a function of the number of attributes (Figures 4 and 5)."""
+    bound = _bound_for(problem, workload)
+    ranking = workload.ranking()
+    k_min, k_max = workload.default_k_range()
+    tau_s = workload.default_tau_s()
+    if attribute_counts is None:
+        attribute_counts = list(range(3, workload.max_attributes + 1))
+
+    def run_one(algorithm: str, x: float):
+        dataset = workload.projected(int(x))
+        return measure_run(algorithm, dataset, ranking.__class__(dataset, ranking.order),
+                           bound, tau_s, k_min, k_max)
+
+    result = SweepResult(workload=workload.name, problem=problem, x_label="number of attributes")
+    return _run_series(result, workload, problem, list(attribute_counts), run_one,
+                       timeout_seconds, algorithms)
+
+
+def sweep_size_threshold(
+    workload: Workload,
+    problem: str,
+    thresholds: Sequence[int] | None = None,
+    timeout_seconds: float = 600.0,
+    algorithms: Sequence[str] | None = None,
+    n_attributes: int | None = None,
+) -> SweepResult:
+    """Runtime as a function of the size threshold ``tau_s`` (Figures 6 and 7)."""
+    bound = _bound_for(problem, workload)
+    dataset = workload.dataset() if n_attributes is None else workload.projected(n_attributes)
+    ranking = workload.ranking()
+    ranking = ranking.__class__(dataset, ranking.order)
+    k_min, k_max = workload.default_k_range()
+    if thresholds is None:
+        thresholds = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    # Scale thresholds with the workload's row count so scaled-down benchmark runs
+    # keep the same pruning behaviour as the full-size experiment.
+    scaled = [max(2, int(round(threshold * workload.scale))) for threshold in thresholds]
+
+    def run_one(algorithm: str, x: float):
+        return measure_run(algorithm, dataset, ranking, bound, int(x), k_min, k_max)
+
+    result = SweepResult(workload=workload.name, problem=problem, x_label="size threshold")
+    return _run_series(result, workload, problem, scaled, run_one, timeout_seconds, algorithms)
+
+
+def sweep_k_range(
+    workload: Workload,
+    problem: str,
+    k_max_values: Sequence[int] | None = None,
+    timeout_seconds: float = 600.0,
+    algorithms: Sequence[str] | None = None,
+    n_attributes: int | None = None,
+) -> SweepResult:
+    """Runtime as a function of the range of k (Figures 8 and 9)."""
+    bound = _bound_for(problem, workload)
+    dataset = workload.dataset() if n_attributes is None else workload.projected(n_attributes)
+    ranking = workload.ranking()
+    ranking = ranking.__class__(dataset, ranking.order)
+    tau_s = workload.default_tau_s()
+    k_min = min(10, workload.n_rows - 1)
+    if k_max_values is None:
+        k_max_values = [50, 100, 150, 200, 250, 300, 350]
+        k_max_values = [k for k in k_max_values if k <= workload.k_range_max]
+    k_max_values = [min(k, workload.n_rows) for k in k_max_values]
+
+    def run_one(algorithm: str, x: float):
+        return measure_run(algorithm, dataset, ranking, bound, tau_s, k_min, int(x))
+
+    result = SweepResult(workload=workload.name, problem=problem, x_label="k max")
+    return _run_series(result, workload, problem, list(dict.fromkeys(k_max_values)), run_one,
+                       timeout_seconds, algorithms)

@@ -1,0 +1,26 @@
+"""Shapley-value based result analysis (Section V of the paper)."""
+
+from repro.explain.distributions import DistributionComparison, compare_distributions
+from repro.explain.ranking_explainer import (
+    AttributeContribution,
+    GroupExplanation,
+    RankingExplainer,
+)
+from repro.explain.shapley import (
+    MAX_EXACT_FEATURES,
+    ShapleyExplainer,
+    exact_shapley_values,
+    sampled_shapley_values,
+)
+
+__all__ = [
+    "ShapleyExplainer",
+    "exact_shapley_values",
+    "sampled_shapley_values",
+    "MAX_EXACT_FEATURES",
+    "RankingExplainer",
+    "GroupExplanation",
+    "AttributeContribution",
+    "DistributionComparison",
+    "compare_distributions",
+]

@@ -1,0 +1,97 @@
+"""Value-distribution comparison between a detected group and the top-k tuples.
+
+The second half of the paper's result analysis (Figures 10d-10f): once the Shapley
+analysis has identified the attributes driving the ranking of a detected group, the
+distribution of those attributes' values is compared between the tuples of the group
+and the top-k ranked tuples.  Because the two sets have different sizes the
+comparison uses proportions, exactly as in the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.exceptions import ExplanationError
+from repro.ranking.base import Ranking
+
+
+@dataclass(frozen=True)
+class DistributionComparison:
+    """Proportion-of-tuples histograms of one attribute for the top-k and a group."""
+
+    attribute: str
+    k: int
+    pattern: Pattern
+    top_k_proportions: Mapping[object, float]
+    group_proportions: Mapping[object, float]
+
+    @property
+    def values(self) -> tuple[object, ...]:
+        """All attribute values appearing in either histogram (dataset domain order)."""
+        return tuple(self.top_k_proportions)
+
+    def total_variation_distance(self) -> float:
+        """Total variation distance between the two histograms (0 = identical, 1 = disjoint)."""
+        distance = 0.0
+        for value in self.values:
+            distance += abs(self.top_k_proportions[value] - self.group_proportions[value])
+        return distance / 2.0
+
+    def largest_gap(self) -> tuple[object, float]:
+        """The attribute value where the two distributions differ the most."""
+        gaps = {
+            value: self.group_proportions[value] - self.top_k_proportions[value]
+            for value in self.values
+        }
+        value = max(gaps, key=lambda v: abs(gaps[v]))
+        return value, gaps[value]
+
+    def describe(self) -> str:
+        lines = [
+            f"attribute {self.attribute!r} — top-{self.k} vs group {{{self.pattern.describe()}}} "
+            f"(total variation {self.total_variation_distance():.2f})"
+        ]
+        for value in self.values:
+            lines.append(
+                f"  {value}: top-k {self.top_k_proportions[value]:.2f}  "
+                f"group {self.group_proportions[value]:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def _proportions(dataset: Dataset, rows: np.ndarray, attribute: str) -> dict[object, float]:
+    attribute_object = dataset.schema.attribute(attribute)
+    codes = dataset.column_codes(attribute)[rows]
+    counts = np.bincount(codes, minlength=attribute_object.cardinality).astype(float)
+    total = counts.sum()
+    if total == 0:
+        raise ExplanationError("cannot compute a value distribution over an empty set of rows")
+    return {attribute_object.value(code): float(count / total) for code, count in enumerate(counts)}
+
+
+def compare_distributions(
+    dataset: Dataset,
+    ranking: Ranking,
+    pattern: Pattern,
+    attribute: str,
+    k: int,
+) -> DistributionComparison:
+    """Compare the distribution of ``attribute`` between the top-``k`` and the group ``pattern``."""
+    if attribute not in dataset.schema:
+        raise ExplanationError(f"attribute {attribute!r} is not a categorical attribute of the dataset")
+    top_rows = ranking.top_k_rows(k)
+    group_rows = np.flatnonzero(dataset.match_mask(pattern))
+    if group_rows.size == 0:
+        raise ExplanationError(f"no tuple satisfies the pattern {pattern!r}")
+    return DistributionComparison(
+        attribute=attribute,
+        k=k,
+        pattern=pattern,
+        top_k_proportions=_proportions(dataset, top_rows, attribute),
+        group_proportions=_proportions(dataset, group_rows, attribute),
+    )

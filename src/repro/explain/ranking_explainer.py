@@ -1,0 +1,191 @@
+"""Result analysis via Shapley values (Section V of the paper).
+
+The paper's method has two parts:
+
+1. train a regression model ``M_R`` that imitates the black-box ranking algorithm
+   ``R`` — the model maps a tuple's attributes to the tuple's rank in ``R(D)``;
+2. for a detected group ``p``, compute the Shapley values of ``M_R`` for every tuple
+   satisfying ``p`` and aggregate them into a single per-attribute vector
+   ``s_i = (sum over t satisfying p of s^t_i) / s_D(p)``.
+
+Attributes with large aggregated Shapley values are the ones that drive the ranking
+of the detected group; comparing the distribution of their values between the group
+and the top-k (see :mod:`repro.explain.distributions`) explains the group's biased
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.data.dataset import Dataset
+from repro.exceptions import ExplanationError
+from repro.explain.shapley import ShapleyExplainer
+from repro.mlcore.boosting import GradientBoostingRegressor
+from repro.mlcore.encoding import DatasetEncoder
+from repro.mlcore.metrics import r2_score, spearman_correlation
+from repro.ranking.base import Ranking
+
+
+@dataclass(frozen=True)
+class AttributeContribution:
+    """Aggregated contribution of one attribute to the ranking of a group."""
+
+    attribute: str
+    mean_shapley: float
+    mean_absolute_shapley: float
+
+    @property
+    def magnitude(self) -> float:
+        return self.mean_absolute_shapley
+
+
+@dataclass(frozen=True)
+class GroupExplanation:
+    """The Section V explanation of one detected group."""
+
+    pattern: Pattern
+    group_size: int
+    contributions: tuple[AttributeContribution, ...]
+
+    def top(self, n: int = 6) -> tuple[AttributeContribution, ...]:
+        """The ``n`` attributes with the largest aggregated |Shapley| values."""
+        ranked = sorted(self.contributions, key=lambda c: -c.magnitude)
+        return tuple(ranked[:n])
+
+    def contribution_of(self, attribute: str) -> AttributeContribution:
+        for contribution in self.contributions:
+            if contribution.attribute == attribute:
+                return contribution
+        raise ExplanationError(f"attribute {attribute!r} is not part of the explanation")
+
+    def describe(self, n: int = 6) -> str:
+        lines = [f"group {{{self.pattern.describe()}}} ({self.group_size} tuples)"]
+        for contribution in self.top(n):
+            lines.append(
+                f"  {contribution.attribute}: |shapley|={contribution.mean_absolute_shapley:.3f} "
+                f"(signed {contribution.mean_shapley:+.3f})"
+            )
+        return "\n".join(lines)
+
+
+class RankingExplainer:
+    """Trains the rank-imitation model ``M_R`` and aggregates Shapley values per group."""
+
+    def __init__(
+        self,
+        model: object | None = None,
+        feature_attributes: Sequence[str] | None = None,
+        numeric_features: Sequence[str] = (),
+        background_size: int = 40,
+        n_permutations: int = 48,
+        exact_limit: int = 10,
+        max_group_rows: int = 120,
+        random_state: int = 0,
+    ) -> None:
+        self._model = model if model is not None else GradientBoostingRegressor(random_state=random_state)
+        self._encoder = DatasetEncoder(categorical=feature_attributes, numeric=numeric_features)
+        self._background_size = background_size
+        self._n_permutations = n_permutations
+        self._exact_limit = exact_limit
+        self._max_group_rows = max_group_rows
+        self._random_state = random_state
+        self._dataset: Dataset | None = None
+        self._ranking: Ranking | None = None
+        self._features: np.ndarray | None = None
+        self._feature_names: tuple[str, ...] = ()
+        self._targets: np.ndarray | None = None
+        self._shapley: ShapleyExplainer | None = None
+
+    # -- fitting -----------------------------------------------------------------
+    def fit(self, dataset: Dataset, ranking: Ranking) -> "RankingExplainer":
+        """Train ``M_R`` on ``D_R = {(t, rank of t)}`` and prepare the Shapley explainer."""
+        if ranking.dataset is not dataset and ranking.dataset != dataset:
+            raise ExplanationError("the ranking was computed over a different dataset")
+        encoded = self._encoder.encode(dataset)
+        targets = ranking.ranks().astype(float)
+        self._model.fit(encoded.features, targets)
+
+        rng = np.random.default_rng(self._random_state)
+        background_size = min(self._background_size, dataset.n_rows)
+        background_rows = rng.choice(dataset.n_rows, size=background_size, replace=False)
+        self._shapley = ShapleyExplainer(
+            predict=self._model.predict,
+            background=encoded.features[background_rows],
+            n_permutations=self._n_permutations,
+            exact_limit=self._exact_limit,
+            random_state=self._random_state,
+        )
+        self._dataset = dataset
+        self._ranking = ranking
+        self._features = encoded.features
+        self._feature_names = encoded.feature_names
+        self._targets = targets
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._dataset is None or self._shapley is None:
+            raise ExplanationError("RankingExplainer must be fitted before use")
+
+    # -- model diagnostics ----------------------------------------------------------
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return self._feature_names
+
+    @property
+    def model(self) -> object:
+        return self._model
+
+    def model_quality(self) -> dict[str, float]:
+        """Goodness of fit of ``M_R`` on its training data (R^2 and Spearman rho)."""
+        self._require_fitted()
+        predictions = self._model.predict(self._features)
+        return {
+            "r2": r2_score(self._targets, predictions),
+            "spearman": spearman_correlation(self._targets, predictions),
+        }
+
+    # -- Shapley attribution ----------------------------------------------------------
+    def shapley_for_rows(self, rows: Sequence[int]) -> np.ndarray:
+        """Per-tuple Shapley values for the given dataset rows (rows × features)."""
+        self._require_fitted()
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size == 0:
+            raise ExplanationError("shapley_for_rows requires at least one row")
+        return self._shapley.explain_batch(self._features[rows])
+
+    def explain_group(self, pattern: Pattern) -> GroupExplanation:
+        """Aggregate the Shapley values of every tuple satisfying ``pattern``.
+
+        When the group is larger than ``max_group_rows`` a random subsample is used;
+        the aggregation (a mean over tuples) is unaffected in expectation.
+        """
+        self._require_fitted()
+        member_rows = np.flatnonzero(self._dataset.match_mask(pattern))
+        if member_rows.size == 0:
+            raise ExplanationError(f"no tuple satisfies the pattern {pattern!r}")
+        group_size = int(member_rows.size)
+        if member_rows.size > self._max_group_rows:
+            rng = np.random.default_rng(self._random_state)
+            member_rows = rng.choice(member_rows, size=self._max_group_rows, replace=False)
+        per_tuple = self.shapley_for_rows(member_rows)
+        mean_signed = per_tuple.mean(axis=0)
+        mean_absolute = np.abs(per_tuple).mean(axis=0)
+        contributions = tuple(
+            AttributeContribution(
+                attribute=name,
+                mean_shapley=float(mean_signed[index]),
+                mean_absolute_shapley=float(mean_absolute[index]),
+            )
+            for index, name in enumerate(self._feature_names)
+        )
+        return GroupExplanation(pattern=pattern, group_size=group_size, contributions=contributions)
+
+    def top_attributes(self, pattern: Pattern, n: int = 6) -> tuple[str, ...]:
+        """Names of the ``n`` attributes with the largest aggregated |Shapley| values."""
+        explanation = self.explain_group(pattern)
+        return tuple(contribution.attribute for contribution in explanation.top(n))

@@ -1,0 +1,27 @@
+"""From-scratch regression substrate used by the Shapley-based explainer."""
+
+from repro.mlcore.boosting import GradientBoostingRegressor
+from repro.mlcore.encoding import DatasetEncoder, EncodedMatrix
+from repro.mlcore.linear import RidgeRegression
+from repro.mlcore.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    spearman_correlation,
+)
+from repro.mlcore.model_selection import k_fold_indices, train_test_split_indices
+from repro.mlcore.tree import DecisionTreeRegressor
+
+__all__ = [
+    "DatasetEncoder",
+    "EncodedMatrix",
+    "RidgeRegression",
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "spearman_correlation",
+    "train_test_split_indices",
+    "k_fold_indices",
+]

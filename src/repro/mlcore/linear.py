@@ -1,0 +1,58 @@
+"""Ridge (L2-regularised) linear regression via the normal equations.
+
+A small, dependency-free stand-in for ``sklearn.linear_model.Ridge``: the explainer
+of Section V only needs *some* regression model that imitates the ranking algorithm,
+and a linear model is both a useful baseline and the fastest option for the Shapley
+sampling loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+class RidgeRegression:
+    """Linear least squares with L2 regularisation and an unpenalised intercept."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ModelError("the regularisation strength alpha must be non-negative")
+        self.alpha = alpha
+        self.coefficients_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegression":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ModelError("features must be a 2-dimensional matrix")
+        if targets.shape != (features.shape[0],):
+            raise ModelError("targets must be a vector with one entry per row of features")
+        if features.shape[0] == 0:
+            raise ModelError("cannot fit a model on an empty dataset")
+
+        # Centre features and targets so the intercept absorbs the means and stays
+        # unpenalised.
+        feature_means = features.mean(axis=0)
+        target_mean = float(targets.mean())
+        centered = features - feature_means
+        gram = centered.T @ centered + self.alpha * np.eye(features.shape[1])
+        coefficients = np.linalg.solve(gram, centered.T @ (targets - target_mean))
+
+        self.coefficients_ = coefficients
+        self.intercept_ = target_mean - float(feature_means @ coefficients)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coefficients_ is None or self.intercept_ is None:
+            raise NotFittedError("RidgeRegression.predict called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self.coefficients_.shape[0]:
+            raise ModelError(
+                f"expected {self.coefficients_.shape[0]} features, received {features.shape[1]}"
+            )
+        return features @ self.coefficients_ + self.intercept_

@@ -1,0 +1,69 @@
+"""Regression and rank-agreement metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ModelError("metrics expect two 1-dimensional arrays of equal length")
+    if y_true.size == 0:
+        raise ModelError("metrics require at least one observation")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination (1 - SSE / SST); 0 when the target is constant."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        return 0.0
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    return 1.0 - residual / total
+
+
+def _rank_data(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.shape[0], dtype=float)
+    position = 0
+    while position < values.shape[0]:
+        tail = position
+        while tail + 1 < values.shape[0] and values[order[tail + 1]] == values[order[position]]:
+            tail += 1
+        average_rank = (position + tail) / 2.0 + 1.0
+        ranks[order[position : tail + 1]] = average_rank
+        position = tail + 1
+    return ranks
+
+
+def spearman_correlation(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson correlation of the tied ranks)."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if y_true.size < 2:
+        return 0.0
+    ranks_true = _rank_data(y_true)
+    ranks_pred = _rank_data(y_pred)
+    std_true = ranks_true.std()
+    std_pred = ranks_pred.std()
+    if std_true == 0.0 or std_pred == 0.0:
+        return 0.0
+    covariance = float(np.mean((ranks_true - ranks_true.mean()) * (ranks_pred - ranks_pred.mean())))
+    return covariance / (std_true * std_pred)

@@ -1,0 +1,41 @@
+"""Simple train/test splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def train_test_split_indices(
+    n_rows: int,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``range(n_rows)`` into shuffled train and test index arrays."""
+    if n_rows < 2:
+        raise ModelError("train/test splitting requires at least two rows")
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n_rows)
+    n_test = max(1, int(round(test_fraction * n_rows)))
+    n_test = min(n_test, n_rows - 1)
+    return permutation[n_test:], permutation[:n_test]
+
+
+def k_fold_indices(n_rows: int, n_folds: int = 5, seed: int = 0) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``n_folds`` (train, test) index pairs covering ``range(n_rows)``."""
+    if n_folds < 2:
+        raise ModelError("k-fold splitting requires at least two folds")
+    if n_rows < n_folds:
+        raise ModelError("cannot create more folds than rows")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n_rows)
+    folds = np.array_split(permutation, n_folds)
+    splits = []
+    for index in range(n_folds):
+        test = folds[index]
+        train = np.concatenate([fold for position, fold in enumerate(folds) if position != index])
+        splits.append((train, test))
+    return splits

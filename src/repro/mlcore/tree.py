@@ -1,0 +1,185 @@
+"""CART regression trees (variance-reduction splitting).
+
+A compact re-implementation of ``sklearn.tree.DecisionTreeRegressor`` sufficient for
+the rank-imitation models of Section V: axis-aligned binary splits chosen to minimise
+the within-node sum of squared errors, with depth and leaf-size stopping rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature`` set to ``None``."""
+
+    prediction: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """Binary regression tree grown by greedy variance reduction."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ModelError("max_depth must be at least 1")
+        if min_samples_split < 2:
+            raise ModelError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ModelError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self._n_features: int | None = None
+
+    # -- fitting ----------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ModelError("features must be a 2-dimensional matrix")
+        if targets.shape != (features.shape[0],):
+            raise ModelError("targets must be a vector with one entry per row of features")
+        if features.shape[0] == 0:
+            raise ModelError("cannot fit a model on an empty dataset")
+        self._n_features = features.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._grow(features, targets, depth=0, rng=rng)
+        return self
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        node = _Node(prediction=float(targets.mean()))
+        n_samples = targets.shape[0]
+        if (
+            depth >= self.max_depth
+            or n_samples < self.min_samples_split
+            or np.allclose(targets, targets[0])
+        ):
+            return node
+
+        split = self._best_split(features, targets, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        left_mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[left_mask], targets[left_mask], depth + 1, rng)
+        node.right = self._grow(features[~left_mask], targets[~left_mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float] | None:
+        n_samples, n_features = features.shape
+        candidate_features = np.arange(n_features)
+        if self.max_features is not None and self.max_features < n_features:
+            candidate_features = rng.choice(n_features, size=self.max_features, replace=False)
+
+        best_score = np.inf
+        best: tuple[int, float] | None = None
+        for feature in candidate_features:
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_column = column[order]
+            sorted_targets = targets[order]
+
+            # Candidate split positions: between consecutive distinct values.
+            distinct = np.nonzero(np.diff(sorted_column))[0]
+            if distinct.size == 0:
+                continue
+            prefix_counts = distinct + 1
+            valid = (prefix_counts >= self.min_samples_leaf) & (
+                n_samples - prefix_counts >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            prefix_counts = prefix_counts[valid]
+            positions = distinct[valid]
+
+            cumulative_sum = np.cumsum(sorted_targets)
+            cumulative_sq = np.cumsum(sorted_targets**2)
+            total_sum = cumulative_sum[-1]
+            total_sq = cumulative_sq[-1]
+
+            left_sum = cumulative_sum[positions]
+            left_sq = cumulative_sq[positions]
+            left_count = prefix_counts
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            right_count = n_samples - left_count
+
+            # Within-node SSE of both children (lower is better).
+            sse = (left_sq - left_sum**2 / left_count) + (right_sq - right_sum**2 / right_count)
+            best_index = int(np.argmin(sse))
+            if sse[best_index] < best_score - 1e-12:
+                best_score = float(sse[best_index])
+                position = positions[best_index]
+                threshold = float((sorted_column[position] + sorted_column[position + 1]) / 2.0)
+                best = (int(feature), threshold)
+        return best
+
+    # -- prediction ---------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None or self._n_features is None:
+            raise NotFittedError("DecisionTreeRegressor.predict called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self._n_features:
+            raise ModelError(f"expected {self._n_features} features, received {features.shape[1]}")
+        predictions = np.empty(features.shape[0])
+        self._predict_into(self._root, features, np.arange(features.shape[0]), predictions)
+        return predictions
+
+    def _predict_into(
+        self,
+        node: _Node,
+        features: np.ndarray,
+        rows: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Vectorised prediction: route the ``rows`` index set through the tree."""
+        if rows.size == 0:
+            return
+        if node.is_leaf:
+            out[rows] = node.prediction
+            return
+        goes_left = features[rows, node.feature] <= node.threshold
+        self._predict_into(node.left, features, rows[goes_left], out)
+        self._predict_into(node.right, features, rows[~goes_left], out)
+
+    @property
+    def depth(self) -> int:
+        """The actual depth of the fitted tree."""
+        if self._root is None:
+            raise NotFittedError("the tree has not been fitted")
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)

@@ -1,0 +1,24 @@
+"""Ranking substrate: the black-box ranker interface and concrete rankers."""
+
+from repro.ranking.base import PrecomputedRanker, Ranker, Ranking, stable_order
+from repro.ranking.score import AttributeRanker, ScoreRanker, min_max_normalize
+from repro.ranking.workloads import (
+    compas_ranker,
+    german_credit_ranker,
+    student_ranker,
+    toy_ranker,
+)
+
+__all__ = [
+    "Ranker",
+    "Ranking",
+    "PrecomputedRanker",
+    "AttributeRanker",
+    "ScoreRanker",
+    "stable_order",
+    "min_max_normalize",
+    "student_ranker",
+    "toy_ranker",
+    "compas_ranker",
+    "german_credit_ranker",
+]

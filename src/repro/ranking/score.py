@@ -1,0 +1,115 @@
+"""Score-based rankers.
+
+Two concrete rankers cover the paper's experimental setups:
+
+* :class:`AttributeRanker` ranks by a single numeric column with an optional
+  tie-breaking column — the Student workload (rank by final grade ``G3``) and the
+  running example of Figure 1 (grade, ties broken by fewer failures).
+* :class:`ScoreRanker` ranks by a weighted sum of min-max-normalised numeric
+  columns — the COMPAS workload of Asudeh et al. [4], where higher values score
+  higher for every attribute except ``age``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import RankingError
+from repro.ranking.base import Ranker, Ranking, stable_order
+
+
+def min_max_normalize(values: np.ndarray) -> np.ndarray:
+    """Normalise values to ``[0, 1]`` as ``(val - min) / (max - min)``.
+
+    A constant column normalises to all zeros (rather than dividing by zero).
+    """
+    values = np.asarray(values, dtype=float)
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return np.zeros_like(values)
+    return (values - lo) / (hi - lo)
+
+
+@dataclass(frozen=True)
+class AttributeRanker(Ranker):
+    """Rank by one numeric column, optionally breaking ties with a second column.
+
+    Parameters
+    ----------
+    score_column:
+        Numeric column to sort by.
+    descending:
+        Sort direction for the score column (``True`` = higher is better).
+    tiebreak_column:
+        Optional numeric column used to order tuples with equal scores.
+    tiebreak_descending:
+        Sort direction for the tie-break column (``False`` = smaller is better,
+        matching "fewer failures rank higher" in the running example).
+    """
+
+    score_column: str
+    descending: bool = True
+    tiebreak_column: str | None = None
+    tiebreak_descending: bool = False
+
+    def rank(self, dataset: Dataset) -> Ranking:
+        scores = dataset.numeric_column(self.score_column).astype(float)
+        primary = -scores if self.descending else scores
+        if self.tiebreak_column is None:
+            order = np.argsort(primary, kind="stable")
+        else:
+            tiebreak = dataset.numeric_column(self.tiebreak_column).astype(float)
+            secondary = -tiebreak if self.tiebreak_descending else tiebreak
+            order = np.lexsort((secondary, primary))
+        return Ranking(dataset, order)
+
+
+class ScoreRanker(Ranker):
+    """Rank by a weighted sum of min-max-normalised numeric columns.
+
+    ``weights`` maps column names to weights; ``ascending_columns`` lists the columns
+    where *smaller* raw values should score higher (their normalised value is flipped
+    to ``1 - value`` before weighting), e.g. ``age`` in the COMPAS setup.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float] | Sequence[str],
+        ascending_columns: Sequence[str] = (),
+    ) -> None:
+        if not weights:
+            raise RankingError("ScoreRanker requires at least one scoring column")
+        if isinstance(weights, Mapping):
+            self._weights = dict(weights)
+        else:
+            self._weights = {name: 1.0 for name in weights}
+        self._ascending = set(ascending_columns)
+        unknown = self._ascending - set(self._weights)
+        if unknown:
+            raise RankingError(
+                f"ascending_columns {sorted(unknown)} are not among the scoring columns"
+            )
+
+    @property
+    def score_columns(self) -> tuple[str, ...]:
+        return tuple(self._weights)
+
+    def scores(self, dataset: Dataset) -> np.ndarray:
+        """The combined score of every row (exposed for inspection and tests)."""
+        total = np.zeros(dataset.n_rows)
+        for name, weight in self._weights.items():
+            normalized = min_max_normalize(dataset.numeric_column(name))
+            if name in self._ascending:
+                normalized = 1.0 - normalized
+            total += weight * normalized
+        return total
+
+    def rank(self, dataset: Dataset) -> Ranking:
+        return Ranking(dataset, stable_order(self.scores(dataset), descending=True))
+
+    def __repr__(self) -> str:
+        return f"ScoreRanker(columns={list(self._weights)}, ascending={sorted(self._ascending)})"

@@ -1,0 +1,44 @@
+"""Standard dataset + ranker pairings used by the paper's experiments.
+
+Section VI-A describes one ranking algorithm per dataset:
+
+* **Student** — rank by the final Math grade ``G3`` (descending);
+* **COMPAS** — rank by the sum of seven min-max-normalised scoring attributes
+  (higher is better except ``age``), following Asudeh et al. [4];
+* **German Credit** — rank by creditworthiness (the underlying function is treated
+  as unknown / black box).
+
+These helpers return the ranker each workload uses, so examples, experiments and
+benchmarks all agree on the setup.
+"""
+
+from __future__ import annotations
+
+from repro.data.generators.compas import SCORE_ATTRIBUTES
+from repro.ranking.base import PrecomputedRanker, Ranker
+from repro.ranking.score import AttributeRanker, ScoreRanker
+
+
+def student_ranker() -> Ranker:
+    """The Student workload ranker: final grade ``G3``, descending."""
+    return AttributeRanker(score_column="G3", descending=True)
+
+
+def toy_ranker() -> Ranker:
+    """The running-example ranker: grade descending, ties broken by fewer failures."""
+    return AttributeRanker(
+        score_column="Grade",
+        descending=True,
+        tiebreak_column="FailuresCount",
+        tiebreak_descending=False,
+    )
+
+
+def compas_ranker() -> Ranker:
+    """The COMPAS workload ranker of [4]: equal-weight normalised scoring attributes."""
+    return ScoreRanker(weights=list(SCORE_ATTRIBUTES), ascending_columns=("age",))
+
+
+def german_credit_ranker() -> Ranker:
+    """The German Credit workload ranker: creditworthiness, treated as a black box."""
+    return PrecomputedRanker(score_column="creditworthiness", descending=True)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+The fixtures deliberately use small inputs (the 16-row running example of the paper,
+scaled-down synthetic workloads) so the whole suite stays fast while still covering
+every code path of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pattern_graph import PatternCounter
+from repro.data.dataset import Dataset
+from repro.data.generators.student import student_dataset
+from repro.data.generators.toy import students_toy
+from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+from repro.ranking.base import PrecomputedRanker, Ranking
+from repro.ranking.score import AttributeRanker
+from repro.ranking.workloads import toy_ranker
+
+
+@pytest.fixture(scope="session")
+def toy_dataset() -> Dataset:
+    """The 16-student running example of Figure 1."""
+    return students_toy()
+
+
+@pytest.fixture(scope="session")
+def toy_ranking(toy_dataset: Dataset) -> Ranking:
+    """The Figure 1 ranking (grade descending, ties broken by fewer failures)."""
+    return toy_ranker().rank(toy_dataset)
+
+
+@pytest.fixture(scope="session")
+def toy_counter(toy_dataset: Dataset, toy_ranking: Ranking) -> PatternCounter:
+    return PatternCounter(toy_dataset, toy_ranking)
+
+
+@pytest.fixture(scope="session")
+def small_student_dataset() -> Dataset:
+    """A 150-row, 10-attribute slice of the synthetic Student dataset.
+
+    Restricting the attribute count keeps the pattern space small enough for the
+    baseline IterTD runs used in the optimization-effect tests to finish quickly.
+    """
+    dataset = student_dataset(n_rows=150, seed=3)
+    return dataset.project(dataset.attribute_names[:10])
+
+
+@pytest.fixture(scope="session")
+def small_student_ranking(small_student_dataset: Dataset) -> Ranking:
+    return AttributeRanker(score_column="G3", descending=True).rank(small_student_dataset)
+
+
+@pytest.fixture()
+def synthetic_small() -> Dataset:
+    """A deterministic 80-row synthetic dataset with 4 attributes and a score column."""
+    spec = SyntheticSpec(
+        n_rows=80,
+        cardinalities=[2, 3, 2, 4],
+        score_weights=[1.0, -0.5, 0.0, 0.25],
+        noise=0.3,
+        seed=42,
+    )
+    return synthetic_dataset(spec)
+
+
+@pytest.fixture()
+def synthetic_small_ranking(synthetic_small: Dataset) -> Ranking:
+    return PrecomputedRanker(score_column="score").rank(synthetic_small)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

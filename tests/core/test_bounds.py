@@ -1,0 +1,126 @@
+"""Tests for repro.core.bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    GlobalBoundSpec,
+    ProportionalBoundSpec,
+    paper_default_global_bounds,
+    paper_default_proportional_bounds,
+    step_lower_bounds,
+)
+from repro.exceptions import BoundSpecError
+
+
+class TestGlobalBoundSpec:
+    def test_constant_bound(self):
+        spec = GlobalBoundSpec(lower_bounds=5)
+        assert spec.lower(10, 100, 1000) == 5.0
+        assert spec.upper(10, 100, 1000) is None
+        assert not spec.pattern_dependent
+
+    def test_step_schedule_resolution(self):
+        spec = GlobalBoundSpec(lower_bounds={10: 10, 20: 20, 30: 30, 40: 40})
+        assert spec.lower(10, 0, 0) == 10
+        assert spec.lower(19, 0, 0) == 10
+        assert spec.lower(20, 0, 0) == 20
+        assert spec.lower(49, 0, 0) == 40
+        with pytest.raises(BoundSpecError):
+            spec.lower(5, 0, 0)
+
+    def test_callable_bound(self):
+        spec = GlobalBoundSpec(lower_bounds=lambda k: k // 2)
+        assert spec.lower(10, 0, 0) == 5.0
+
+    def test_upper_bound_and_violations(self):
+        spec = GlobalBoundSpec(lower_bounds=2, upper_bounds=7)
+        assert spec.upper(10, 0, 0) == 7.0
+        assert spec.violates_lower(1, 10, 0, 0)
+        assert not spec.violates_lower(2, 10, 0, 0)
+        assert spec.violates_upper(8, 10, 0, 0)
+        assert not spec.violates_upper(7, 10, 0, 0)
+
+    def test_lower_changes_at(self):
+        spec = GlobalBoundSpec(lower_bounds={10: 10, 20: 20})
+        assert not spec.lower_changes_at(15, 0, 0)
+        assert spec.lower_changes_at(20, 0, 0)
+
+    def test_next_violation_k(self):
+        spec = GlobalBoundSpec(lower_bounds={10: 10, 20: 20})
+        # A pattern with 15 tuples in the top-k first violates when the bound becomes 20.
+        assert spec.next_violation_k(count=15, k=12, k_max=30, size_in_data=0, dataset_size=0) == 20
+        assert spec.next_violation_k(count=25, k=12, k_max=30, size_in_data=0, dataset_size=0) is None
+
+
+class TestProportionalBoundSpec:
+    def test_lower_formula_matches_example_4_7(self):
+        """Example 4.7: alpha=0.9, s_D=8, |D|=16 -> bound 1.8 at k=4 and 2.25 at k=5."""
+        spec = ProportionalBoundSpec(alpha=0.9)
+        assert spec.lower(4, 8, 16) == pytest.approx(1.8)
+        assert spec.lower(5, 8, 16) == pytest.approx(2.25)
+        assert spec.pattern_dependent
+
+    def test_k_tilde_matches_example_4_7(self):
+        """{Gender=F} has count 2 at k=4; its k-tilde is 5."""
+        spec = ProportionalBoundSpec(alpha=0.9)
+        assert spec.next_violation_k(count=2, k=4, k_max=16, size_in_data=8, dataset_size=16) == 5
+
+    def test_k_tilde_none_when_beyond_k_max(self):
+        spec = ProportionalBoundSpec(alpha=0.9)
+        assert spec.next_violation_k(count=2, k=4, k_max=4, size_in_data=8, dataset_size=16) is None
+
+    def test_upper_bound_with_beta(self):
+        spec = ProportionalBoundSpec(alpha=0.5, beta=1.5)
+        assert spec.upper(10, 100, 1000) == pytest.approx(1.5)
+        assert spec.violates_upper(2, 10, 100, 1000)
+
+    def test_validation(self):
+        with pytest.raises(BoundSpecError):
+            ProportionalBoundSpec(alpha=0.0)
+        with pytest.raises(BoundSpecError):
+            ProportionalBoundSpec(alpha=0.8, beta=0.5)
+        spec = ProportionalBoundSpec(alpha=0.8)
+        with pytest.raises(BoundSpecError):
+            spec.lower(5, 10, 0)
+
+    @given(
+        alpha=st.floats(min_value=0.1, max_value=2.0),
+        count=st.integers(min_value=0, max_value=50),
+        size=st.integers(min_value=1, max_value=200),
+        k=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_k_tilde_is_the_first_violation(self, alpha, count, size, k):
+        """k-tilde is the minimal k' > k violating the bound; no earlier k' violates."""
+        spec = ProportionalBoundSpec(alpha=alpha)
+        dataset_size = 500
+        k_max = 200
+        k_tilde = spec.next_violation_k(count, k, k_max, size, dataset_size)
+        if k_tilde is None:
+            for candidate in range(k + 1, k_max + 1):
+                assert count >= spec.lower(candidate, size, dataset_size)
+        else:
+            assert k < k_tilde <= k_max
+            assert count < spec.lower(k_tilde, size, dataset_size)
+            for candidate in range(k + 1, k_tilde):
+                assert count >= spec.lower(candidate, size, dataset_size)
+
+
+class TestHelpers:
+    def test_step_lower_bounds_validation(self):
+        assert step_lower_bounds({20: 20, 10: 10}) == {10: 10, 20: 20}
+        with pytest.raises(BoundSpecError):
+            step_lower_bounds({})
+        with pytest.raises(BoundSpecError):
+            step_lower_bounds({10: 20, 20: 10})
+
+    def test_paper_defaults(self):
+        global_spec = paper_default_global_bounds()
+        assert global_spec.lower(10, 0, 0) == 10
+        assert global_spec.lower(49, 0, 0) == 40
+        prop_spec = paper_default_proportional_bounds()
+        assert prop_spec.alpha == pytest.approx(0.8)

@@ -1,0 +1,71 @@
+"""Tests for the brute-force reference implementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec
+from repro.core.brute_force import brute_force_detection, enumerate_patterns
+from repro.core.pattern import EMPTY_PATTERN, Pattern
+from repro.core.pattern_graph import PatternCounter
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+from repro.exceptions import DetectionError
+from repro.ranking.base import PrecomputedRanker
+
+
+class TestEnumeratePatterns:
+    def test_count_matches_schema_formula(self, toy_dataset):
+        patterns = list(enumerate_patterns(toy_dataset))
+        assert len(patterns) == toy_dataset.schema.total_patterns()
+        assert len(set(patterns)) == len(patterns)
+        assert EMPTY_PATTERN not in patterns
+
+    def test_include_empty(self, toy_dataset):
+        patterns = list(enumerate_patterns(toy_dataset, include_empty=True))
+        assert EMPTY_PATTERN in patterns
+        assert len(patterns) == toy_dataset.schema.total_patterns() + 1
+
+    def test_specific_pattern_present(self, toy_dataset):
+        patterns = set(enumerate_patterns(toy_dataset))
+        assert Pattern({"Gender": "F", "School": "GP", "Address": "U", "Failures": 0}) in patterns
+
+
+class TestBruteForceDetection:
+    def test_limit_guard(self):
+        spec = SyntheticSpec(n_rows=30, cardinalities=[4] * 10, seed=0)
+        dataset = synthetic_dataset(spec)
+        ranking = PrecomputedRanker(score_column="score").rank(dataset)
+        counter = PatternCounter(dataset, ranking)
+        with pytest.raises(DetectionError):
+            brute_force_detection(
+                dataset, counter, GlobalBoundSpec(lower_bounds=2), 2, 5, 6, pattern_limit=1000
+            )
+
+    def test_results_are_most_general_and_violating(self, toy_dataset, toy_ranking):
+        bound = GlobalBoundSpec(lower_bounds=2)
+        counter = PatternCounter(toy_dataset, toy_ranking)
+        result = brute_force_detection(toy_dataset, counter, bound, tau_s=4, k_min=4, k_max=6)
+        for k in result:
+            groups = result.groups_at(k)
+            for pattern in groups:
+                assert counter.size(pattern) >= 4
+                assert counter.top_k_count(pattern, k) < 2
+                # No proper subset with adequate size also violates the bound.
+                for other in groups:
+                    if other != pattern:
+                        assert not other.is_proper_subset_of(pattern)
+
+    def test_single_attribute_dataset(self):
+        dataset = Dataset.from_columns(
+            {"color": ["r", "r", "g", "g", "b", "b"]},
+            numeric={"score": [6.0, 5.0, 4.0, 3.0, 2.0, 1.0]},
+        )
+        ranking = PrecomputedRanker(score_column="score").rank(dataset)
+        counter = PatternCounter(dataset, ranking)
+        result = brute_force_detection(
+            dataset, counter, GlobalBoundSpec(lower_bounds=1), tau_s=2, k_min=2, k_max=4
+        )
+        # In the top-2 only color=r appears, so g and b are under-represented.
+        assert result.groups_at(2) == frozenset({Pattern({"color": "g"}), Pattern({"color": "b"})})
+        assert result.groups_at(4) == frozenset({Pattern({"color": "b"})})

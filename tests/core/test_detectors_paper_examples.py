@@ -1,0 +1,106 @@
+"""End-to-end detector tests against the worked examples of the paper.
+
+Examples 2.4, 4.6 and 4.9 give concrete inputs and outputs over the Figure 1 data;
+these tests pin the three detection algorithms to those outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern import Pattern
+from repro.core.prop_bounds import PropBoundsDetector
+
+ALL_DETECTORS_GLOBAL = [IterTDDetector, GlobalBoundsDetector, PropBoundsDetector]
+ALL_DETECTORS_PROP = [IterTDDetector, PropBoundsDetector]
+
+
+class TestExample46GlobalBounds:
+    """Global bounds, tau_s=4, k in [4, 5], L_4 = L_5 = 2."""
+
+    @pytest.mark.parametrize("detector_class", ALL_DETECTORS_GLOBAL)
+    def test_k4_contains_papers_groups(self, detector_class, toy_dataset, toy_ranking):
+        report = detector_class(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=5
+        ).detect(toy_dataset, toy_ranking)
+        groups_k4 = report.groups_at(4)
+        assert Pattern({"Address": "U"}) in groups_k4
+        assert Pattern({"Failures": 1}) in groups_k4
+
+    @pytest.mark.parametrize("detector_class", ALL_DETECTORS_GLOBAL)
+    def test_k5_frontier_moves_exactly_as_in_the_paper(self, detector_class, toy_dataset, toy_ranking):
+        report = detector_class(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=5
+        ).detect(toy_dataset, toy_ranking)
+        groups_k5 = report.groups_at(5)
+        # Tuple 14 (rank 5) satisfies {Address=U} and {Failures=1}: both leave the
+        # result set and their child {Address=U, Failures=1} joins it, together with
+        # the four DRes patterns the paper lists.
+        assert Pattern({"Address": "U"}) not in groups_k5
+        assert Pattern({"Failures": 1}) not in groups_k5
+        for expected in (
+            Pattern({"Address": "U", "Failures": 1}),
+            Pattern({"Gender": "F", "Address": "U"}),
+            Pattern({"Gender": "M", "Address": "U"}),
+            Pattern({"Gender": "F", "Failures": 1}),
+            Pattern({"Address": "R", "Failures": 1}),
+        ):
+            assert expected in groups_k5
+
+    def test_all_algorithms_agree(self, toy_dataset, toy_ranking):
+        reports = [
+            detector_class(
+                bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=5
+            ).detect(toy_dataset, toy_ranking)
+            for detector_class in ALL_DETECTORS_GLOBAL
+        ]
+        assert reports[0].result == reports[1].result == reports[2].result
+
+
+class TestExample49Proportional:
+    """Proportional bounds, tau_s=5, alpha=0.9, k in [4, 5]."""
+
+    @pytest.mark.parametrize("detector_class", ALL_DETECTORS_PROP)
+    def test_k4_result_matches_paper_exactly(self, detector_class, toy_dataset, toy_ranking):
+        report = detector_class(
+            bound=ProportionalBoundSpec(alpha=0.9), tau_s=5, k_min=4, k_max=5
+        ).detect(toy_dataset, toy_ranking)
+        assert report.groups_at(4) == frozenset(
+            {Pattern({"School": "GP"}), Pattern({"Address": "U"}), Pattern({"Failures": 1})}
+        )
+
+    @pytest.mark.parametrize("detector_class", ALL_DETECTORS_PROP)
+    def test_k5_adds_gender_f(self, detector_class, toy_dataset, toy_ranking):
+        """At k=5 the bound for {Gender=F} rises to 2.25 while its count stays 2."""
+        report = detector_class(
+            bound=ProportionalBoundSpec(alpha=0.9), tau_s=5, k_min=4, k_max=5
+        ).detect(toy_dataset, toy_ranking)
+        groups_k5 = report.groups_at(5)
+        assert Pattern({"Gender": "F"}) in groups_k5
+        # {Address=U} and {Failures=1} remain in the result (their bound rose too).
+        assert Pattern({"Address": "U"}) in groups_k5
+        assert Pattern({"Failures": 1}) in groups_k5
+        assert Pattern({"School": "GP"}) in groups_k5
+
+    def test_baseline_and_optimized_agree(self, toy_dataset, toy_ranking):
+        reports = [
+            detector_class(
+                bound=ProportionalBoundSpec(alpha=0.9), tau_s=5, k_min=4, k_max=5
+            ).detect(toy_dataset, toy_ranking)
+            for detector_class in ALL_DETECTORS_PROP
+        ]
+        assert reports[0].result == reports[1].result
+
+
+class TestExample24Constraint:
+    """Example 2.4: with L_5,school = 2 only one GP student is in the top-5."""
+
+    def test_school_gp_detected_at_k5(self, toy_dataset, toy_ranking):
+        report = GlobalBoundsDetector(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=2, k_min=5, k_max=5
+        ).detect(toy_dataset, toy_ranking)
+        assert Pattern({"School": "GP"}) in report.groups_at(5)
+        assert Pattern({"School": "MS"}) not in report.groups_at(5)

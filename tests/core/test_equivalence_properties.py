@@ -1,0 +1,121 @@
+"""Property-based equivalence of the detection algorithms.
+
+The central correctness property of the paper's optimized algorithms
+(Propositions 4.5 and 4.8) is that they return exactly the same most general biased
+patterns as the baseline for every k.  These tests generate random small datasets,
+rankings and parameters with hypothesis and check that IterTD, GlobalBounds,
+PropBounds and the brute-force oracle all agree.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.brute_force import brute_force_detection
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern_graph import PatternCounter
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+from repro.ranking.base import PrecomputedRanker
+
+
+@st.composite
+def detection_instances(draw):
+    """A random small dataset, its score ranking, and random detection parameters."""
+    n_attributes = draw(st.integers(min_value=1, max_value=4))
+    cardinalities = [draw(st.integers(min_value=2, max_value=3)) for _ in range(n_attributes)]
+    n_rows = draw(st.integers(min_value=12, max_value=60))
+    weights = [draw(st.floats(min_value=-2.0, max_value=2.0)) for _ in range(n_attributes)]
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    spec = SyntheticSpec(
+        n_rows=n_rows,
+        cardinalities=cardinalities,
+        score_weights=weights,
+        noise=0.5,
+        seed=seed,
+    )
+    dataset = synthetic_dataset(spec)
+    ranking = PrecomputedRanker(score_column="score").rank(dataset)
+
+    tau_s = draw(st.integers(min_value=1, max_value=max(2, n_rows // 4)))
+    k_min = draw(st.integers(min_value=1, max_value=max(1, n_rows // 3)))
+    k_max = draw(st.integers(min_value=k_min, max_value=n_rows))
+    return dataset, ranking, tau_s, k_min, k_max
+
+
+class TestGlobalBoundsEquivalence:
+    @given(
+        instance=detection_instances(),
+        lower=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_algorithms_agree_with_brute_force(self, instance, lower):
+        dataset, ranking, tau_s, k_min, k_max = instance
+        bound = GlobalBoundSpec(lower_bounds=float(lower))
+        counter = PatternCounter(dataset, ranking)
+        expected = brute_force_detection(dataset, counter, bound, tau_s, k_min, k_max)
+
+        iter_td = IterTDDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+        global_bounds = GlobalBoundsDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+        prop_engine = PropBoundsDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+        assert iter_td.detect(dataset, ranking).result == expected
+        assert global_bounds.detect(dataset, ranking).result == expected
+        assert prop_engine.detect(dataset, ranking).result == expected
+
+    @given(
+        instance=detection_instances(),
+        steps=st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_step_schedules_agree(self, instance, steps):
+        """Non-decreasing step schedules (the paper's assumption) preserve equivalence."""
+        dataset, ranking, tau_s, k_min, k_max = instance
+        span = max(1, (k_max - k_min) // max(1, len(steps)))
+        schedule = {}
+        bound_value = 0
+        for index, increment in enumerate(sorted(steps)):
+            bound_value += increment
+            schedule[k_min + index * span] = float(bound_value)
+        schedule.setdefault(1, float(min(schedule.values())))
+        bound = GlobalBoundSpec(lower_bounds=schedule)
+
+        baseline = IterTDDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+        optimized = GlobalBoundsDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+        assert baseline.detect(dataset, ranking).result == optimized.detect(dataset, ranking).result
+
+
+class TestProportionalEquivalence:
+    @given(
+        instance=detection_instances(),
+        alpha=st.floats(min_value=0.2, max_value=1.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prop_bounds_agrees_with_brute_force(self, instance, alpha):
+        dataset, ranking, tau_s, k_min, k_max = instance
+        bound = ProportionalBoundSpec(alpha=alpha)
+        counter = PatternCounter(dataset, ranking)
+        expected = brute_force_detection(dataset, counter, bound, tau_s, k_min, k_max)
+
+        baseline = IterTDDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+        optimized = PropBoundsDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+        assert baseline.detect(dataset, ranking).result == expected
+        assert optimized.detect(dataset, ranking).result == expected
+
+    @given(instance=detection_instances(), alpha=st.floats(min_value=0.2, max_value=1.2))
+    @settings(max_examples=20, deadline=None)
+    def test_reported_groups_really_violate_their_bounds(self, instance, alpha):
+        """Soundness: every reported group has adequate size and violates its bound."""
+        dataset, ranking, tau_s, k_min, k_max = instance
+        bound = ProportionalBoundSpec(alpha=alpha)
+        report = PropBoundsDetector(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max).detect(
+            dataset, ranking
+        )
+        counter = PatternCounter(dataset, ranking)
+        for k in report.result:
+            for pattern in report.groups_at(k):
+                size = counter.size(pattern)
+                assert size >= tau_s
+                assert counter.top_k_count(pattern, k) < bound.lower(k, size, dataset.n_rows)

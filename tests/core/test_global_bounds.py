@@ -1,0 +1,96 @@
+"""Tests for the GlobalBounds detector (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.brute_force import brute_force_detection
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern_graph import PatternCounter
+from repro.exceptions import DetectionError
+
+
+class TestValidation:
+    def test_rejects_pattern_dependent_bounds(self):
+        with pytest.raises(DetectionError):
+            GlobalBoundsDetector(bound=ProportionalBoundSpec(alpha=0.8), tau_s=5, k_min=4, k_max=5)
+
+    def test_rejects_bad_parameters(self):
+        bound = GlobalBoundSpec(lower_bounds=2)
+        with pytest.raises(DetectionError):
+            GlobalBoundsDetector(bound=bound, tau_s=0, k_min=4, k_max=5)
+        with pytest.raises(DetectionError):
+            GlobalBoundsDetector(bound=bound, tau_s=5, k_min=0, k_max=5)
+        with pytest.raises(DetectionError):
+            GlobalBoundsDetector(bound=bound, tau_s=5, k_min=6, k_max=5)
+
+    def test_rejects_k_beyond_dataset(self, toy_dataset, toy_ranking):
+        detector = GlobalBoundsDetector(bound=GlobalBoundSpec(lower_bounds=2), tau_s=2, k_min=5, k_max=50)
+        with pytest.raises(DetectionError):
+            detector.detect(toy_dataset, toy_ranking)
+
+
+class TestEquivalenceWithBaseline:
+    @pytest.mark.parametrize("lower", [1, 2, 3, 5])
+    @pytest.mark.parametrize("tau_s", [2, 4, 6])
+    def test_matches_iter_td_on_toy_data(self, toy_dataset, toy_ranking, lower, tau_s):
+        bound = GlobalBoundSpec(lower_bounds=lower)
+        optimized = GlobalBoundsDetector(bound=bound, tau_s=tau_s, k_min=3, k_max=12).detect(
+            toy_dataset, toy_ranking
+        )
+        baseline = IterTDDetector(bound=bound, tau_s=tau_s, k_min=3, k_max=12).detect(
+            toy_dataset, toy_ranking
+        )
+        assert optimized.result == baseline.result
+
+    def test_matches_brute_force_on_toy_data(self, toy_dataset, toy_ranking):
+        bound = GlobalBoundSpec(lower_bounds=3)
+        report = GlobalBoundsDetector(bound=bound, tau_s=3, k_min=4, k_max=10).detect(
+            toy_dataset, toy_ranking
+        )
+        counter = PatternCounter(toy_dataset, toy_ranking)
+        expected = brute_force_detection(toy_dataset, counter, bound, tau_s=3, k_min=4, k_max=10)
+        assert report.result == expected
+
+    def test_step_schedule_triggers_restart_and_stays_correct(self, toy_dataset, toy_ranking):
+        """A bound that steps up mid-range forces a fresh search (Algorithm 2, line 5)."""
+        bound = GlobalBoundSpec(lower_bounds={1: 1, 6: 2, 10: 4})
+        optimized = GlobalBoundsDetector(bound=bound, tau_s=3, k_min=3, k_max=14).detect(
+            toy_dataset, toy_ranking
+        )
+        baseline = IterTDDetector(bound=bound, tau_s=3, k_min=3, k_max=14).detect(
+            toy_dataset, toy_ranking
+        )
+        assert optimized.result == baseline.result
+        # The restart at k=6 and k=10 plus the initial search -> at least 3 full searches.
+        assert optimized.stats.full_searches >= 3
+
+    def test_matches_baseline_on_synthetic_data(self, synthetic_small, synthetic_small_ranking):
+        bound = GlobalBoundSpec(lower_bounds=4)
+        optimized = GlobalBoundsDetector(bound=bound, tau_s=5, k_min=5, k_max=30).detect(
+            synthetic_small, synthetic_small_ranking
+        )
+        baseline = IterTDDetector(bound=bound, tau_s=5, k_min=5, k_max=30).detect(
+            synthetic_small, synthetic_small_ranking
+        )
+        assert optimized.result == baseline.result
+
+
+class TestOptimizationEffect:
+    def test_examines_fewer_patterns_than_baseline(self, small_student_dataset, small_student_ranking):
+        bound = GlobalBoundSpec(lower_bounds=5)
+        kwargs = dict(bound=bound, tau_s=10, k_min=8, k_max=30)
+        optimized = GlobalBoundsDetector(**kwargs).detect(small_student_dataset, small_student_ranking)
+        baseline = IterTDDetector(**kwargs).detect(small_student_dataset, small_student_ranking)
+        assert optimized.result == baseline.result
+        assert optimized.stats.nodes_evaluated < baseline.stats.nodes_evaluated
+        assert optimized.stats.full_searches < baseline.stats.full_searches
+
+    def test_incremental_steps_recorded(self, toy_dataset, toy_ranking):
+        report = GlobalBoundsDetector(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=8
+        ).detect(toy_dataset, toy_ranking)
+        assert report.stats.extra.get("incremental_steps", 0) == 4
+        assert report.stats.full_searches == 1

@@ -1,0 +1,56 @@
+"""Tests for the IterTD baseline detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.brute_force import brute_force_detection
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern_graph import PatternCounter
+
+
+class TestIterTD:
+    def test_one_full_search_per_k(self, toy_dataset, toy_ranking):
+        report = IterTDDetector(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=9
+        ).detect(toy_dataset, toy_ranking)
+        assert report.stats.full_searches == 6
+        assert report.result.k_values == tuple(range(4, 10))
+
+    def test_supports_both_problem_definitions(self, toy_dataset, toy_ranking):
+        global_report = IterTDDetector(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=6
+        ).detect(toy_dataset, toy_ranking)
+        prop_report = IterTDDetector(
+            bound=ProportionalBoundSpec(alpha=0.9), tau_s=4, k_min=4, k_max=6
+        ).detect(toy_dataset, toy_ranking)
+        assert global_report.result.k_values == prop_report.result.k_values
+        assert global_report.result != prop_report.result
+
+    @pytest.mark.parametrize(
+        "bound",
+        [GlobalBoundSpec(lower_bounds=2), ProportionalBoundSpec(alpha=0.85)],
+        ids=["global", "proportional"],
+    )
+    def test_matches_brute_force(self, toy_dataset, toy_ranking, bound):
+        report = IterTDDetector(bound=bound, tau_s=3, k_min=2, k_max=13).detect(
+            toy_dataset, toy_ranking
+        )
+        counter = PatternCounter(toy_dataset, toy_ranking)
+        expected = brute_force_detection(toy_dataset, counter, bound, tau_s=3, k_min=2, k_max=13)
+        assert report.result == expected
+
+    def test_accepts_ranker_instead_of_ranking(self, toy_dataset):
+        from repro.ranking.workloads import toy_ranker
+
+        report = IterTDDetector(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=5
+        ).detect(toy_dataset, toy_ranker())
+        assert report.result.total_reported() > 0
+
+    def test_empty_result_when_bound_trivial(self, toy_dataset, toy_ranking):
+        report = IterTDDetector(
+            bound=GlobalBoundSpec(lower_bounds=0), tau_s=4, k_min=4, k_max=6
+        ).detect(toy_dataset, toy_ranking)
+        assert report.result.total_reported() == 0

@@ -1,0 +1,107 @@
+"""Tests for repro.core.pattern."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pattern import EMPTY_PATTERN, Pattern
+from repro.exceptions import DetectionError
+
+
+class TestBasics:
+    def test_mapping_protocol(self):
+        pattern = Pattern({"school": "GP", "gender": "F"})
+        assert len(pattern) == 2
+        assert pattern["school"] == "GP"
+        assert "gender" in pattern
+        assert set(pattern) == {"school", "gender"}
+        assert dict(pattern) == {"school": "GP", "gender": "F"}
+
+    def test_equality_is_order_independent(self):
+        assert Pattern({"a": 1, "b": 2}) == Pattern({"b": 2, "a": 1})
+        assert hash(Pattern({"a": 1, "b": 2})) == hash(Pattern({"b": 2, "a": 1}))
+        assert Pattern({"a": 1}) != Pattern({"a": 2})
+
+    def test_equality_with_plain_mapping(self):
+        assert Pattern({"a": 1}) == {"a": 1}
+
+    def test_kwargs_constructor(self):
+        assert Pattern(school="GP") == Pattern({"school": "GP"})
+        with pytest.raises(DetectionError):
+            Pattern({"school": "GP"}, school="MS")
+
+    def test_empty_pattern(self):
+        assert EMPTY_PATTERN.is_empty()
+        assert len(EMPTY_PATTERN) == 0
+        assert EMPTY_PATTERN.describe() == "(all tuples)"
+
+    def test_describe_and_repr(self):
+        pattern = Pattern({"b": 2, "a": 1})
+        assert pattern.describe() == "a=1, b=2"
+        assert "a=1" in repr(pattern)
+
+
+class TestAlgebra:
+    def test_extend_and_without(self):
+        pattern = Pattern({"a": 1})
+        child = pattern.extend("b", 2)
+        assert child == Pattern({"a": 1, "b": 2})
+        assert child.without("b") == pattern
+        with pytest.raises(DetectionError):
+            pattern.extend("a", 5)
+        with pytest.raises(DetectionError):
+            pattern.without("z")
+
+    def test_subset_relations(self):
+        general = Pattern({"a": 1})
+        specific = Pattern({"a": 1, "b": 2})
+        assert general.is_subset_of(specific)
+        assert general.is_proper_subset_of(specific)
+        assert specific.is_superset_of(general)
+        assert not specific.is_subset_of(general)
+        assert general.is_subset_of(general)
+        assert not general.is_proper_subset_of(general)
+        assert not Pattern({"a": 2}).is_subset_of(specific)
+
+    def test_empty_pattern_is_subset_of_everything(self):
+        assert EMPTY_PATTERN.is_subset_of(Pattern({"x": 0}))
+
+    def test_union(self):
+        assert Pattern({"a": 1}).union(Pattern({"b": 2})) == Pattern({"a": 1, "b": 2})
+        assert Pattern({"a": 1}).union(Pattern({"a": 1})) == Pattern({"a": 1})
+        with pytest.raises(DetectionError):
+            Pattern({"a": 1}).union(Pattern({"a": 2}))
+
+    def test_parents(self):
+        pattern = Pattern({"a": 1, "b": 2})
+        assert set(pattern.parents()) == {Pattern({"a": 1}), Pattern({"b": 2})}
+        assert EMPTY_PATTERN.parents() == []
+
+    def test_attributes(self):
+        assert Pattern({"a": 1, "b": 2}).attributes == frozenset({"a", "b"})
+
+
+_assignments = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c", "d"]),
+    values=st.integers(min_value=0, max_value=3),
+    max_size=4,
+)
+
+
+class TestProperties:
+    @given(first=_assignments, second=_assignments)
+    @settings(max_examples=80, deadline=None)
+    def test_subset_matches_dict_subset(self, first, second):
+        """Pattern subsumption coincides with dictionary item inclusion."""
+        p, q = Pattern(first), Pattern(second)
+        assert p.is_subset_of(q) == (set(first.items()) <= set(second.items()))
+
+    @given(assignment=_assignments)
+    @settings(max_examples=50, deadline=None)
+    def test_parents_are_proper_subsets(self, assignment):
+        pattern = Pattern(assignment)
+        for parent in pattern.parents():
+            assert parent.is_proper_subset_of(pattern)
+            assert len(parent) == len(pattern) - 1

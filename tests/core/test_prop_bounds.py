@@ -1,0 +1,99 @@
+"""Tests for the PropBounds detector (Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.brute_force import brute_force_detection
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern_graph import PatternCounter
+from repro.core.prop_bounds import PropBoundsDetector
+
+
+class TestEquivalenceWithBaseline:
+    @pytest.mark.parametrize("alpha", [0.5, 0.8, 0.9, 1.2])
+    @pytest.mark.parametrize("tau_s", [3, 5])
+    def test_matches_iter_td_on_toy_data(self, toy_dataset, toy_ranking, alpha, tau_s):
+        bound = ProportionalBoundSpec(alpha=alpha)
+        optimized = PropBoundsDetector(bound=bound, tau_s=tau_s, k_min=3, k_max=14).detect(
+            toy_dataset, toy_ranking
+        )
+        baseline = IterTDDetector(bound=bound, tau_s=tau_s, k_min=3, k_max=14).detect(
+            toy_dataset, toy_ranking
+        )
+        assert optimized.result == baseline.result
+
+    def test_matches_brute_force_on_toy_data(self, toy_dataset, toy_ranking):
+        bound = ProportionalBoundSpec(alpha=0.9)
+        report = PropBoundsDetector(bound=bound, tau_s=4, k_min=4, k_max=12).detect(
+            toy_dataset, toy_ranking
+        )
+        counter = PatternCounter(toy_dataset, toy_ranking)
+        expected = brute_force_detection(toy_dataset, counter, bound, tau_s=4, k_min=4, k_max=12)
+        assert report.result == expected
+
+    def test_matches_baseline_on_synthetic_data(self, synthetic_small, synthetic_small_ranking):
+        bound = ProportionalBoundSpec(alpha=0.8)
+        optimized = PropBoundsDetector(bound=bound, tau_s=5, k_min=5, k_max=35).detect(
+            synthetic_small, synthetic_small_ranking
+        )
+        baseline = IterTDDetector(bound=bound, tau_s=5, k_min=5, k_max=35).detect(
+            synthetic_small, synthetic_small_ranking
+        )
+        assert optimized.result == baseline.result
+
+    def test_accepts_pattern_independent_bounds_too(self, toy_dataset, toy_ranking):
+        """The k-tilde machinery also handles global (pattern-independent) schedules."""
+        bound = GlobalBoundSpec(lower_bounds={1: 1, 5: 2, 9: 3})
+        optimized = PropBoundsDetector(bound=bound, tau_s=3, k_min=3, k_max=12).detect(
+            toy_dataset, toy_ranking
+        )
+        baseline = IterTDDetector(bound=bound, tau_s=3, k_min=3, k_max=12).detect(
+            toy_dataset, toy_ranking
+        )
+        assert optimized.result == baseline.result
+
+
+class TestOptimizationEffect:
+    def test_examines_fewer_patterns_than_baseline(self, small_student_dataset, small_student_ranking):
+        bound = ProportionalBoundSpec(alpha=0.8)
+        kwargs = dict(bound=bound, tau_s=10, k_min=8, k_max=30)
+        optimized = PropBoundsDetector(**kwargs).detect(small_student_dataset, small_student_ranking)
+        baseline = IterTDDetector(**kwargs).detect(small_student_dataset, small_student_ranking)
+        assert optimized.result == baseline.result
+        assert optimized.stats.nodes_evaluated < baseline.stats.nodes_evaluated
+        assert optimized.stats.full_searches == 1
+
+    def test_k_tilde_scheduling_happens(self, toy_dataset, toy_ranking):
+        report = PropBoundsDetector(
+            bound=ProportionalBoundSpec(alpha=0.9), tau_s=5, k_min=4, k_max=10
+        ).detect(toy_dataset, toy_ranking)
+        assert report.stats.extra.get("k_tilde_scheduled", 0) > 0
+        assert report.stats.extra.get("incremental_steps", 0) == 6
+
+
+class TestResultShape:
+    def test_results_are_most_general(self, synthetic_small, synthetic_small_ranking):
+        report = PropBoundsDetector(
+            bound=ProportionalBoundSpec(alpha=0.9), tau_s=5, k_min=5, k_max=25
+        ).detect(synthetic_small, synthetic_small_ranking)
+        for k in report.result:
+            groups = report.groups_at(k)
+            for p in groups:
+                for q in groups:
+                    if p != q:
+                        assert not p.is_proper_subset_of(q)
+
+    def test_detected_groups_violate_their_bound(self, synthetic_small, synthetic_small_ranking):
+        alpha = 0.9
+        report = PropBoundsDetector(
+            bound=ProportionalBoundSpec(alpha=alpha), tau_s=5, k_min=5, k_max=25
+        ).detect(synthetic_small, synthetic_small_ranking)
+        counter = PatternCounter(synthetic_small, synthetic_small_ranking)
+        n = synthetic_small.n_rows
+        for k in report.result:
+            for pattern in report.groups_at(k):
+                size = counter.size(pattern)
+                assert size >= 5
+                assert counter.top_k_count(pattern, k) < alpha * size * k / n

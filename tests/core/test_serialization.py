@@ -1,0 +1,90 @@
+"""Tests for repro.core.serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.pattern import Pattern
+from repro.core.result_set import DetectionResult
+from repro.core.serialization import (
+    load_result,
+    pattern_from_dict,
+    pattern_to_dict,
+    report_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.exceptions import DetectionError
+
+
+class TestPatternSerialization:
+    def test_round_trip(self):
+        pattern = Pattern({"School": "GP", "Failures": 1})
+        assert pattern_from_dict(pattern_to_dict(pattern)) == pattern
+
+    def test_empty_pattern(self):
+        assert pattern_from_dict(pattern_to_dict(Pattern())) == Pattern()
+
+
+class TestResultSerialization:
+    def make_result(self) -> DetectionResult:
+        return DetectionResult(
+            {
+                4: [Pattern({"Address": "U"}), Pattern({"Failures": 1})],
+                5: [Pattern({"Gender": "F"})],
+            }
+        )
+
+    def test_round_trip_in_memory(self):
+        result = self.make_result()
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_round_trip_via_file(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert load_result(path) == result
+        # The file is plain JSON and sorted, so it is stable and diffable.
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format_version"] == 1
+        assert set(payload["per_k"]) == {"4", "5"}
+
+    def test_version_check(self):
+        with pytest.raises(DetectionError):
+            result_from_dict({"format_version": 99, "per_k": {}})
+
+    def test_malformed_payloads(self, tmp_path):
+        with pytest.raises(DetectionError):
+            result_from_dict({"format_version": 1})
+        with pytest.raises(DetectionError):
+            result_from_dict({"format_version": 1, "per_k": {"not a number": []}})
+        bad_file = tmp_path / "bad.json"
+        bad_file.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DetectionError):
+            load_result(bad_file)
+
+
+class TestReportSerialization:
+    def test_report_round_trip_preserves_groups_and_context(self, toy_dataset, toy_ranking, tmp_path):
+        report = GlobalBoundsDetector(
+            bound=GlobalBoundSpec(lower_bounds=2), tau_s=4, k_min=4, k_max=5
+        ).detect(toy_dataset, toy_ranking)
+        path = tmp_path / "report.json"
+        save_result(report, path)
+
+        reloaded = load_result(path)
+        assert reloaded == report.result
+
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["algorithm"] == "GlobalBounds"
+        assert payload["parameters"]["tau_s"] == 4
+        assert payload["stats"]["nodes_evaluated"] > 0
+        groups_k4 = payload["groups"]["4"]
+        assert all(group["count_in_top_k"] < group["bound"] for group in groups_k4)
+        described = {tuple(sorted(group["pattern"].items())) for group in groups_k4}
+        assert tuple(sorted({"Address": "U"}.items())) in described

@@ -1,0 +1,47 @@
+"""Tests for repro.core.stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import SearchStats, examined_gain
+
+
+class TestSearchStats:
+    def test_bump_and_as_dict(self):
+        stats = SearchStats(nodes_generated=10, nodes_evaluated=7)
+        stats.bump("restarts")
+        stats.bump("restarts", 2)
+        flat = stats.as_dict()
+        assert flat["nodes_generated"] == 10
+        assert flat["restarts"] == 3
+
+    def test_merge_sums_counters(self):
+        first = SearchStats(nodes_generated=5, nodes_evaluated=3, size_computations=4, full_searches=1)
+        first.bump("x", 2)
+        second = SearchStats(nodes_generated=1, nodes_evaluated=2, size_computations=3, full_searches=2)
+        second.bump("x", 1)
+        second.bump("y", 7)
+        merged = first.merge(second)
+        assert merged.nodes_generated == 6
+        assert merged.nodes_evaluated == 5
+        assert merged.size_computations == 7
+        assert merged.full_searches == 3
+        assert merged.extra == {"x": 3, "y": 7}
+        # merge does not mutate its inputs
+        assert first.extra == {"x": 2}
+
+
+class TestExaminedGain:
+    def test_percentage(self):
+        baseline = SearchStats(nodes_evaluated=200)
+        optimized = SearchStats(nodes_evaluated=120)
+        assert examined_gain(baseline, optimized) == pytest.approx(40.0)
+
+    def test_zero_baseline(self):
+        assert examined_gain(SearchStats(), SearchStats(nodes_evaluated=5)) == 0.0
+
+    def test_negative_gain_possible(self):
+        baseline = SearchStats(nodes_evaluated=10)
+        optimized = SearchStats(nodes_evaluated=12)
+        assert examined_gain(baseline, optimized) == pytest.approx(-20.0)

@@ -1,0 +1,83 @@
+"""Tests for repro.core.top_down (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.pattern import Pattern
+from repro.core.stats import SearchStats
+from repro.core.top_down import top_down_search
+
+
+class TestGlobalBoundSearch:
+    def test_example_2_4_school_constraint(self, toy_counter):
+        """Example 2.4: with L_5 = 2, {School=GP} has only one top-5 tuple."""
+        state = top_down_search(toy_counter, GlobalBoundSpec(lower_bounds=2), k=5, tau_s=4)
+        assert Pattern({"School": "GP"}) in state.below
+        assert state.below[Pattern({"School": "GP"})] == 1
+        assert Pattern({"School": "MS"}) in state.expanded
+
+    def test_example_4_6_result_and_frontier(self, toy_counter):
+        """Example 4.6 (k=4): {Address=U} and {Failures=1} are most general results,
+        while their specialisations end up on the below frontier with an ancestor in
+        the result (the paper's DRes)."""
+        state = top_down_search(toy_counter, GlobalBoundSpec(lower_bounds=2), k=4, tau_s=4)
+        result = state.most_general()
+        assert Pattern({"Address": "U"}) in result
+        assert Pattern({"Failures": 1}) in result
+        # The DRes patterns listed in the paper were reached and are below the bound
+        # but are not most general.
+        for dres_pattern in (
+            Pattern({"Gender": "F", "Address": "U"}),
+            Pattern({"Gender": "M", "Address": "U"}),
+            Pattern({"Gender": "F", "Failures": 1}),
+            Pattern({"Address": "R", "Failures": 1}),
+        ):
+            assert dres_pattern in state.below
+            assert dres_pattern not in result
+
+    def test_size_threshold_prunes(self, toy_counter):
+        state = top_down_search(toy_counter, GlobalBoundSpec(lower_bounds=2), k=4, tau_s=9)
+        # Only patterns with at least 9 of the 16 tuples survive; every single-value
+        # pattern has size 8 or less except Failures=1 (size 8 as well) -> all pruned.
+        assert not state.below and not state.expanded
+
+    def test_below_and_expanded_partition_by_bound(self, toy_counter):
+        bound = GlobalBoundSpec(lower_bounds=3)
+        state = top_down_search(toy_counter, bound, k=6, tau_s=4)
+        for pattern, count in state.below.items():
+            assert count < 3
+            assert toy_counter.top_k_count(pattern, 6) == count
+        for pattern, count in state.expanded.items():
+            assert count >= 3
+            assert toy_counter.top_k_count(pattern, 6) == count
+
+    def test_stats_are_recorded(self, toy_counter):
+        stats = SearchStats()
+        top_down_search(toy_counter, GlobalBoundSpec(lower_bounds=2), k=4, tau_s=4, stats=stats)
+        assert stats.full_searches == 1
+        assert stats.nodes_generated >= stats.nodes_evaluated > 0
+        assert stats.size_computations >= stats.nodes_evaluated
+
+
+class TestProportionalBoundSearch:
+    def test_example_4_9_result_at_k4(self, toy_counter):
+        """Example 4.9: tau_s=5, alpha=0.9, k=4 -> {School=GP}, {Address=U}, {Failures=1}."""
+        state = top_down_search(toy_counter, ProportionalBoundSpec(alpha=0.9), k=4, tau_s=5)
+        assert state.most_general() == frozenset(
+            {Pattern({"School": "GP"}), Pattern({"Address": "U"}), Pattern({"Failures": 1})}
+        )
+
+    def test_sizes_cached_for_visited_patterns(self, toy_counter):
+        state = top_down_search(toy_counter, ProportionalBoundSpec(alpha=0.9), k=4, tau_s=5)
+        for pattern in list(state.below) + list(state.expanded):
+            assert state.sizes[pattern] == toy_counter.size(pattern)
+            assert state.sizes[pattern] >= 5
+
+
+class TestSearchState:
+    def test_is_visited(self, toy_counter):
+        state = top_down_search(toy_counter, GlobalBoundSpec(lower_bounds=2), k=4, tau_s=4)
+        assert state.is_visited(Pattern({"Address": "U"}))
+        assert not state.is_visited(Pattern({"Address": "U", "Gender": "F", "School": "GP"}))

@@ -1,0 +1,105 @@
+"""Tests for repro.core.tuning (automatic threshold suggestion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.core.tuning import suggest_alpha, suggest_lower_bound, suggest_size_threshold
+from repro.exceptions import DetectionError
+
+
+class TestSuggestAlpha:
+    def test_suggestion_is_feasible(self, synthetic_small, synthetic_small_ranking):
+        # Note: groups with zero tuples in some top-k are flagged for any alpha > 0,
+        # so the reachable minimum is not zero; a target of 8 is attainable here.
+        result = suggest_alpha(
+            synthetic_small,
+            synthetic_small_ranking,
+            tau_s=5,
+            k_min=5,
+            k_max=25,
+            target_max_groups=8,
+        )
+        assert result.max_groups_per_k <= 8
+        # Re-running the detector with the suggested alpha reproduces the report.
+        report = PropBoundsDetector(
+            bound=ProportionalBoundSpec(alpha=result.parameter), tau_s=5, k_min=5, k_max=25
+        ).detect(synthetic_small, synthetic_small_ranking)
+        assert report.result == result.report.result
+
+    def test_large_target_returns_upper_end(self, toy_dataset, toy_ranking):
+        result = suggest_alpha(
+            toy_dataset, toy_ranking, tau_s=4, k_min=4, k_max=8,
+            target_max_groups=1000, alpha_range=(0.1, 1.5),
+        )
+        assert result.parameter == pytest.approx(1.5)
+
+    def test_infeasible_range_rejected(self, toy_dataset, toy_ranking):
+        # Even a tiny alpha flags at least one group here, so a target of zero fails.
+        with pytest.raises(DetectionError):
+            suggest_alpha(
+                toy_dataset, toy_ranking, tau_s=2, k_min=4, k_max=10,
+                target_max_groups=0, alpha_range=(0.9, 1.2),
+            )
+        with pytest.raises(DetectionError):
+            suggest_alpha(toy_dataset, toy_ranking, 4, 4, 8, alpha_range=(1.0, 0.5))
+
+
+class TestSuggestLowerBound:
+    def test_suggestion_is_feasible_and_nontrivial(self, toy_dataset, toy_ranking):
+        result = suggest_lower_bound(
+            toy_dataset, toy_ranking, tau_s=4, k_min=4, k_max=10, target_max_groups=4
+        )
+        assert result.max_groups_per_k <= 4
+        assert 0.0 <= result.parameter <= 10.0
+
+    def test_zero_bound_reports_nothing(self, toy_dataset, toy_ranking):
+        result = suggest_lower_bound(
+            toy_dataset, toy_ranking, tau_s=4, k_min=4, k_max=6,
+            target_max_groups=0, max_bound=0.0,
+        )
+        assert result.total_reported == 0
+
+
+class TestSuggestSizeThreshold:
+    def test_smallest_concise_threshold(self, toy_dataset, toy_ranking):
+        bound = GlobalBoundSpec(lower_bounds=2)
+        result = suggest_size_threshold(
+            toy_dataset, toy_ranking, bound, k_min=4, k_max=8, target_max_groups=4
+        )
+        assert result.max_groups_per_k <= 4
+        assert 1 <= result.parameter <= 16
+        # One step below the suggestion (if any) would exceed the target, unless the
+        # suggestion is already the lower end of the range.
+        if result.parameter > 1:
+            from repro.core.global_bounds import GlobalBoundsDetector
+
+            below = GlobalBoundsDetector(
+                bound=bound, tau_s=int(result.parameter) - 1, k_min=4, k_max=8
+            ).detect(toy_dataset, toy_ranking)
+            assert below.result.max_groups_per_k() > 4 or result.parameter == 1
+
+    def test_proportional_bound_supported(self, synthetic_small, synthetic_small_ranking):
+        result = suggest_size_threshold(
+            synthetic_small,
+            synthetic_small_ranking,
+            ProportionalBoundSpec(alpha=0.9),
+            k_min=5,
+            k_max=20,
+            target_max_groups=5,
+        )
+        assert result.max_groups_per_k <= 5
+
+    def test_infeasible_target_rejected(self, toy_dataset, toy_ranking):
+        with pytest.raises(DetectionError):
+            suggest_size_threshold(
+                toy_dataset, toy_ranking, GlobalBoundSpec(lower_bounds=16),
+                k_min=4, k_max=6, target_max_groups=0, tau_s_range=(1, 2),
+            )
+        with pytest.raises(DetectionError):
+            suggest_size_threshold(
+                toy_dataset, toy_ranking, GlobalBoundSpec(lower_bounds=2),
+                k_min=4, k_max=6, tau_s_range=(5, 2),
+            )

@@ -1,0 +1,94 @@
+"""Tests for repro.data.bucketize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.bucketize import bucketize, equal_frequency, equal_width
+from repro.exceptions import DatasetError
+
+
+class TestEqualWidth:
+    def test_simple_ranges(self):
+        result = equal_width([0, 1, 2, 3, 4, 5, 6, 7, 8, 9], bins=2)
+        assert result.n_bins == 2
+        assert result.edges == (0.0, 4.5, 9.0)
+        assert result.labels[0] == "[0, 4.5)"
+        assert result.labels[-1] == "[4.5, 9]"
+
+    def test_every_value_gets_a_bin(self):
+        values = [1.5, 3.2, 8.9, 0.1, 5.5]
+        result = equal_width(values, bins=3)
+        assert len(result.labels) == len(values)
+        assert all(0 <= index < 3 for index in result.bin_indices)
+
+    def test_constant_column_collapses_to_one_bin(self):
+        result = equal_width([7.0, 7.0, 7.0], bins=4)
+        assert result.n_bins == 1
+        assert len(set(result.labels)) == 1
+
+    def test_apply_to_new_values_clamps_out_of_range(self):
+        result = equal_width([0.0, 10.0], bins=2)
+        applied = result.apply([-5.0, 2.0, 25.0])
+        assert applied[0] == result.label_of_bin(0)
+        assert applied[-1] == result.label_of_bin(1)
+
+
+class TestEqualFrequency:
+    def test_balanced_counts(self):
+        values = list(range(100))
+        result = equal_frequency(values, bins=4)
+        counts = np.bincount(result.bin_indices, minlength=result.n_bins)
+        assert counts.min() >= 20  # roughly balanced quartiles
+
+    def test_heavy_ties_reduce_bins_gracefully(self):
+        values = [0.0] * 50 + [1.0] * 2
+        result = equal_frequency(values, bins=4)
+        assert result.n_bins >= 1
+        assert len(result.labels) == 52
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        with pytest.raises(DatasetError):
+            bucketize([1, 2, 3], bins=2, method="magic")
+
+    def test_empty_input(self):
+        with pytest.raises(DatasetError):
+            equal_width([], bins=2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(DatasetError):
+            equal_width([1.0, float("nan")], bins=2)
+
+    def test_non_positive_bins(self):
+        with pytest.raises(DatasetError):
+            equal_width([1.0, 2.0], bins=0)
+
+
+class TestProperties:
+    @given(
+        values=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60),
+        bins=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bucketization_is_total_and_consistent(self, values, bins):
+        """Every value is assigned a bin whose label matches the bin index."""
+        result = bucketize(values, bins=bins, method="width")
+        assert len(result.labels) == len(values)
+        for label, index in zip(result.labels, result.bin_indices):
+            assert label == result.label_of_bin(index)
+            assert 0 <= index < result.n_bins
+
+    @given(
+        values=st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=2, max_size=60),
+        bins=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_apply_is_consistent_with_original_assignment(self, values, bins):
+        """Re-applying the bucketization to the original values reproduces the labels."""
+        result = equal_width(values, bins=bins)
+        assert result.apply(values) == list(result.labels)

@@ -1,0 +1,82 @@
+"""Tests for repro.data.csv_io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.csv_io import load_dataset, load_mapping, read_table, save_dataset, save_rows
+from repro.data.dataset import Dataset
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    path = tmp_path / "students.csv"
+    path.write_text(
+        "gender,school,grade\n"
+        "F,GP,10\n"
+        "M,MS,15\n"
+        "F,MS,8\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestReadTable:
+    def test_header_and_rows(self, csv_path):
+        header, rows = read_table(csv_path)
+        assert header == ["gender", "school", "grade"]
+        assert rows == [["F", "GP", "10"], ["M", "MS", "15"], ["F", "MS", "8"]]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_table(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_table(path)
+
+
+class TestLoadDataset:
+    def test_numeric_columns_are_parsed(self, csv_path):
+        dataset = load_dataset(csv_path, numeric=["grade"])
+        assert dataset.attribute_names == ("gender", "school")
+        assert list(dataset.numeric_column("grade")) == [10.0, 15.0, 8.0]
+
+    def test_explicit_categorical_selection(self, csv_path):
+        dataset = load_dataset(csv_path, categorical=["school"], numeric=["grade"])
+        assert dataset.attribute_names == ("school",)
+
+    def test_missing_columns_rejected(self, csv_path):
+        with pytest.raises(DatasetError):
+            load_dataset(csv_path, numeric=["missing"])
+        with pytest.raises(DatasetError):
+            load_dataset(csv_path, categorical=["missing"])
+
+    def test_non_numeric_value_rejected(self, csv_path):
+        with pytest.raises(DatasetError):
+            load_dataset(csv_path, numeric=["school"])
+
+
+class TestRoundTrip:
+    def test_save_and_load_preserves_data(self, tmp_path):
+        dataset = Dataset.from_columns(
+            {"gender": ["F", "M"], "school": ["GP", "MS"]},
+            numeric={"grade": [11.0, 14.5]},
+        )
+        path = tmp_path / "round.csv"
+        save_dataset(dataset, path)
+        reloaded = load_dataset(path, numeric=["grade"])
+        assert reloaded.attribute_names == dataset.attribute_names
+        assert reloaded.to_rows() == dataset.to_rows()
+        assert list(reloaded.numeric_column("grade")) == [11.0, 14.5]
+
+    def test_save_rows_and_load_mapping(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        save_rows(path, ["a", "b"], [(1, "x"), (2, "y")])
+        mappings = load_mapping(path)
+        assert mappings == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]

@@ -1,0 +1,127 @@
+"""Tests for repro.data.dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DatasetError, SchemaError, UnknownAttributeError
+
+
+@pytest.fixture()
+def small_dataset() -> Dataset:
+    columns = {
+        "gender": ["F", "M", "F", "M", "F"],
+        "school": ["GP", "GP", "MS", "MS", "GP"],
+    }
+    numeric = {"grade": [10.0, 12.0, 8.0, 15.0, 9.0]}
+    return Dataset.from_columns(columns, numeric=numeric)
+
+
+class TestConstruction:
+    def test_from_rows_and_columns_agree(self, small_dataset: Dataset):
+        rows = [("F", "GP"), ("M", "GP"), ("F", "MS"), ("M", "MS"), ("F", "GP")]
+        from_rows = Dataset.from_rows(["gender", "school"], rows, numeric={"grade": [10, 12, 8, 15, 9]})
+        assert from_rows == small_dataset
+
+    def test_row_width_mismatch_rejected(self):
+        # Schema inference spots the ragged row, so a SchemaError (sibling of
+        # DatasetError under ReproError) is raised.
+        with pytest.raises((DatasetError, SchemaError)):
+            Dataset.from_rows(["a", "b"], [("x",)])
+
+    def test_numeric_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_columns({"a": ["x", "y"]}, numeric={"s": [1.0]})
+
+    def test_inconsistent_column_lengths_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_columns({"a": ["x", "y"], "b": ["u"]})
+
+    def test_codes_outside_domain_rejected(self):
+        schema = Schema([Attribute("a", ("x", "y"))])
+        with pytest.raises(DatasetError):
+            Dataset(schema, np.array([[2]]))
+
+    def test_explicit_schema_shares_encoding(self):
+        schema = Schema.from_domains({"a": ["x", "y", "z"]})
+        dataset = Dataset.from_rows(["a"], [("z",), ("x",)], schema=schema)
+        assert dataset.schema is schema
+        assert list(dataset.column_codes("a")) == [2, 0]
+
+
+class TestAccessors:
+    def test_shape(self, small_dataset: Dataset):
+        assert small_dataset.n_rows == 5
+        assert small_dataset.n_attributes == 2
+        assert len(small_dataset) == 5
+        assert small_dataset.attribute_names == ("gender", "school")
+        assert small_dataset.numeric_names == ("grade",)
+
+    def test_column_decoding(self, small_dataset: Dataset):
+        assert list(small_dataset.column("gender")) == ["F", "M", "F", "M", "F"]
+        assert list(small_dataset.numeric_column("grade")) == [10.0, 12.0, 8.0, 15.0, 9.0]
+
+    def test_unknown_numeric_column(self, small_dataset: Dataset):
+        with pytest.raises(UnknownAttributeError):
+            small_dataset.numeric_column("score")
+
+    def test_row_and_full_row(self, small_dataset: Dataset):
+        assert small_dataset.row(1) == {"gender": "M", "school": "GP"}
+        assert small_dataset.full_row(1) == {"gender": "M", "school": "GP", "grade": 12.0}
+
+    def test_value_counts(self, small_dataset: Dataset):
+        assert small_dataset.value_counts("gender") == {"F": 3, "M": 2}
+
+    def test_to_rows_round_trip(self, small_dataset: Dataset):
+        assert small_dataset.to_rows()[0] == ("F", "GP")
+        assert len(small_dataset.to_rows()) == 5
+
+
+class TestMatching:
+    def test_match_mask_and_count(self, small_dataset: Dataset):
+        mask = small_dataset.match_mask({"gender": "F", "school": "GP"})
+        assert list(mask) == [True, False, False, False, True]
+        assert small_dataset.count({"gender": "F", "school": "GP"}) == 2
+
+    def test_empty_assignment_matches_everything(self, small_dataset: Dataset):
+        assert small_dataset.count({}) == 5
+
+    def test_satisfies(self, small_dataset: Dataset):
+        assert small_dataset.satisfies(0, {"gender": "F"})
+        assert not small_dataset.satisfies(1, {"gender": "F"})
+
+
+class TestDerivedDatasets:
+    def test_take_reorders_rows_and_numeric(self, small_dataset: Dataset):
+        reordered = small_dataset.take([3, 0])
+        assert reordered.row(0) == {"gender": "M", "school": "MS"}
+        assert list(reordered.numeric_column("grade")) == [15.0, 10.0]
+
+    def test_head(self, small_dataset: Dataset):
+        assert small_dataset.head(2).n_rows == 2
+        assert small_dataset.head(100).n_rows == 5
+
+    def test_filter(self, small_dataset: Dataset):
+        filtered = small_dataset.filter({"school": "GP"})
+        assert filtered.n_rows == 3
+        assert set(filtered.column("school")) == {"GP"}
+
+    def test_project_keeps_numeric_by_default(self, small_dataset: Dataset):
+        projected = small_dataset.project(["school"])
+        assert projected.attribute_names == ("school",)
+        assert projected.numeric_names == ("grade",)
+        assert projected.project(["school"], keep_numeric=False).numeric_names == ()
+
+    def test_with_and_drop_numeric(self, small_dataset: Dataset):
+        extended = small_dataset.with_numeric("bonus", [1, 2, 3, 4, 5])
+        assert "bonus" in extended.numeric_names
+        assert "bonus" not in extended.drop_numeric("bonus").numeric_names
+        with pytest.raises(UnknownAttributeError):
+            small_dataset.drop_numeric("missing")
+
+    def test_codes_are_read_only(self, small_dataset: Dataset):
+        with pytest.raises(ValueError):
+            small_dataset.codes[0, 0] = 1

@@ -1,0 +1,137 @@
+"""Tests for the synthetic dataset generators (schema fidelity and determinism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators.compas import ATTRIBUTE_ORDER as COMPAS_ATTRIBUTES
+from repro.data.generators.compas import SCORE_ATTRIBUTES, compas_dataset
+from repro.data.generators.german_credit import ATTRIBUTE_ORDER as GERMAN_ATTRIBUTES
+from repro.data.generators.german_credit import german_credit_dataset
+from repro.data.generators.student import ATTRIBUTE_ORDER as STUDENT_ATTRIBUTES
+from repro.data.generators.student import EDUCATION_LEVELS, student_dataset
+from repro.data.generators.toy import FIGURE1_RANKS, FIGURE1_ROWS, figure1_order, students_toy
+
+
+class TestToyDataset:
+    def test_figure1_contents(self):
+        dataset = students_toy()
+        assert dataset.n_rows == 16
+        assert dataset.attribute_names == ("Gender", "School", "Address", "Failures")
+        # Tuple 12 (index 11) is the rank-1 student with grade 20.
+        assert dataset.row(11) == {"Gender": "F", "School": "GP", "Address": "U", "Failures": 0}
+        assert dataset.numeric_column("Grade")[11] == 20.0
+
+    def test_figure1_order_matches_rank_column(self):
+        order = figure1_order()
+        assert len(order) == 16
+        # The first entry is the row with rank 1, i.e. tuple 12 -> index 11.
+        assert order[0] == 11
+        for position, row_index in enumerate(order, start=1):
+            assert FIGURE1_RANKS[row_index] == position
+
+    def test_example_2_3_pattern_sizes(self):
+        """Example 2.3: s_D({School=GP}) = 8."""
+        dataset = students_toy()
+        assert dataset.count({"School": "GP"}) == 8
+        assert dataset.count({"School": "MS"}) == 8
+
+    def test_rows_constant_matches_dataset(self):
+        dataset = students_toy()
+        for index, (gender, school, address, failures, grade) in enumerate(FIGURE1_ROWS):
+            assert dataset.row(index) == {
+                "Gender": gender,
+                "School": school,
+                "Address": address,
+                "Failures": failures,
+            }
+            assert dataset.numeric_column("Grade")[index] == float(grade)
+
+
+class TestStudentGenerator:
+    def test_schema_matches_uci_fragment(self):
+        dataset = student_dataset(n_rows=120, seed=1)
+        assert dataset.n_rows == 120
+        assert dataset.attribute_names == STUDENT_ATTRIBUTES
+        assert len(STUDENT_ATTRIBUTES) == 33
+        assert {"G1", "G2", "G3", "absences"}.issubset(set(dataset.numeric_names))
+
+    def test_default_row_count(self):
+        assert student_dataset(seed=2).n_rows == 395
+
+    def test_deterministic(self):
+        assert student_dataset(n_rows=80, seed=9) == student_dataset(n_rows=80, seed=9)
+
+    def test_grades_in_range_and_correlated(self):
+        dataset = student_dataset(n_rows=300, seed=4)
+        g3 = dataset.numeric_column("G3")
+        g2 = dataset.numeric_column("G2")
+        assert g3.min() >= 0 and g3.max() <= 20
+        assert np.corrcoef(g2, g3)[0, 1] > 0.6
+
+    def test_mother_education_effect_on_final_grade(self):
+        """Low parental education should depress the final grade (Figure 10a setting)."""
+        dataset = student_dataset(n_rows=395, seed=7)
+        g3 = dataset.numeric_column("G3")
+        low = dataset.match_mask({"Medu": EDUCATION_LEVELS[1]})
+        high = dataset.match_mask({"Medu": EDUCATION_LEVELS[4]})
+        assert low.sum() > 10 and high.sum() > 10
+        assert g3[high].mean() > g3[low].mean()
+
+
+class TestCompasGenerator:
+    def test_schema_and_score_attributes(self):
+        dataset = compas_dataset(n_rows=500, seed=1)
+        assert dataset.attribute_names == COMPAS_ATTRIBUTES
+        assert len(COMPAS_ATTRIBUTES) == 16
+        for name in SCORE_ATTRIBUTES:
+            assert dataset.has_numeric(name)
+
+    def test_default_row_count(self):
+        assert compas_dataset(seed=0).n_rows == 6889
+
+    def test_deterministic(self):
+        assert compas_dataset(n_rows=200, seed=5) == compas_dataset(n_rows=200, seed=5)
+
+    def test_decile_score_tracks_priors(self):
+        dataset = compas_dataset(n_rows=2000, seed=2)
+        deciles = np.array([float(value) for value in dataset.column("decile_score")])
+        priors = dataset.numeric_column("priors_count")
+        assert np.corrcoef(deciles, priors)[0, 1] > 0.3
+
+
+class TestGermanCreditGenerator:
+    def test_schema(self):
+        dataset = german_credit_dataset(n_rows=300, seed=1)
+        assert dataset.attribute_names == GERMAN_ATTRIBUTES
+        assert len(GERMAN_ATTRIBUTES) == 20
+        assert dataset.has_numeric("creditworthiness")
+
+    def test_default_row_count(self):
+        assert german_credit_dataset(seed=0).n_rows == 1000
+
+    def test_deterministic(self):
+        assert german_credit_dataset(n_rows=150, seed=3) == german_credit_dataset(n_rows=150, seed=3)
+
+    def test_creditworthiness_drivers(self):
+        """Residence length drives creditworthiness up, duration drives it down (Fig. 10c)."""
+        dataset = german_credit_dataset(n_rows=1000, seed=4)
+        score = dataset.numeric_column("creditworthiness")
+        residence = dataset.numeric_column("residence_length")
+        duration = dataset.numeric_column("duration_in_month")
+        assert np.corrcoef(residence, score)[0, 1] > 0.3
+        assert np.corrcoef(duration, score)[0, 1] < -0.2
+
+
+@pytest.mark.parametrize(
+    "factory", [students_toy, lambda: student_dataset(n_rows=60, seed=0),
+                lambda: compas_dataset(n_rows=60, seed=0),
+                lambda: german_credit_dataset(n_rows=60, seed=0)],
+    ids=["toy", "student", "compas", "german_credit"],
+)
+def test_generators_produce_nonempty_domains(factory):
+    dataset = factory()
+    for attribute in dataset.schema:
+        assert attribute.cardinality >= 1
+        assert dataset.value_counts(attribute.name)

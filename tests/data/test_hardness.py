@@ -1,0 +1,81 @@
+"""Tests for the Theorem 3.3 worst-case construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.data.hardness import expected_result_size, hardness_instance
+from repro.exceptions import DatasetError
+from repro.ranking.base import Ranking
+
+
+class TestConstruction:
+    def test_shape(self):
+        instance = hardness_instance(6)
+        assert instance.dataset.n_rows == 7
+        assert instance.dataset.n_attributes == 6
+        assert instance.k == 6
+        assert instance.lower_bound == 4
+        assert instance.alpha == pytest.approx(9 / 10)
+
+    def test_tuple_structure(self):
+        instance = hardness_instance(4)
+        for index in range(4):
+            row = instance.dataset.row(index)
+            assert row[f"A{index + 1}"] == 1
+            assert sum(value for value in row.values()) == 1
+        assert all(value == 0 for value in instance.dataset.row(4).values())
+
+    def test_odd_or_small_n_rejected(self):
+        with pytest.raises(DatasetError):
+            hardness_instance(3)
+        with pytest.raises(DatasetError):
+            hardness_instance(0)
+        with pytest.raises(DatasetError):
+            expected_result_size(5)
+
+    def test_expected_result_size(self):
+        assert expected_result_size(2) == 2
+        assert expected_result_size(4) == 6
+        assert expected_result_size(6) == 20
+
+
+class TestExponentialResult:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_global_bounds_result_is_binomial(self, n):
+        """The detector must report exactly C(n, n/2) most general biased patterns."""
+        instance = hardness_instance(n)
+        ranking = Ranking(instance.dataset, instance.order)
+        detector = GlobalBoundsDetector(
+            bound=GlobalBoundSpec(lower_bounds=float(instance.lower_bound)),
+            tau_s=2,
+            k_min=instance.k,
+            k_max=instance.k,
+        )
+        report = detector.detect(instance.dataset, ranking)
+        groups = report.groups_at(instance.k)
+        assert len(groups) == expected_result_size(n)
+        # Every reported pattern assigns 0 to exactly n/2 attributes.
+        for pattern in groups:
+            assert len(pattern) == n // 2
+            assert all(value == 0 for value in pattern.values())
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_proportional_result_is_binomial(self, n):
+        instance = hardness_instance(n)
+        ranking = Ranking(instance.dataset, instance.order)
+        detector = PropBoundsDetector(
+            bound=ProportionalBoundSpec(alpha=instance.alpha),
+            tau_s=2,
+            k_min=instance.k,
+            k_max=instance.k,
+        )
+        report = detector.detect(instance.dataset, ranking)
+        groups = report.groups_at(instance.k)
+        assert len(groups) == expected_result_size(n)
+        for pattern in groups:
+            assert len(pattern) == n // 2
+            assert all(value == 0 for value in pattern.values())

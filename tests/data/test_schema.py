@@ -1,0 +1,104 @@
+"""Tests for repro.data.schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownValueError
+
+
+class TestAttribute:
+    def test_code_and_value_round_trip(self):
+        attribute = Attribute("color", ("red", "green", "blue"))
+        for code, value in enumerate(("red", "green", "blue")):
+            assert attribute.code(value) == code
+            assert attribute.value(code) == value
+
+    def test_cardinality_and_iteration(self):
+        attribute = Attribute("size", ("S", "M", "L"))
+        assert attribute.cardinality == 3
+        assert list(attribute) == ["S", "M", "L"]
+        assert "M" in attribute
+        assert "XL" not in attribute
+
+    def test_unknown_value_raises(self):
+        attribute = Attribute("color", ("red",))
+        with pytest.raises(UnknownValueError):
+            attribute.code("purple")
+        with pytest.raises(UnknownValueError):
+            attribute.value(7)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("color", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("color", ("red", "red"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", ("a",))
+
+
+class TestSchema:
+    def make_schema(self) -> Schema:
+        return Schema(
+            [
+                Attribute("gender", ("F", "M")),
+                Attribute("school", ("GP", "MS")),
+                Attribute("grade", (1, 2, 3)),
+            ]
+        )
+
+    def test_names_and_indices(self):
+        schema = self.make_schema()
+        assert schema.names == ("gender", "school", "grade")
+        assert schema.index("school") == 1
+        assert schema.attribute("grade").cardinality == 3
+        assert schema["gender"].name == "gender"
+        assert schema[2].name == "grade"
+
+    def test_unknown_attribute_raises(self):
+        schema = self.make_schema()
+        with pytest.raises(UnknownAttributeError):
+            schema.index("age")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", (1,)), Attribute("a", (2,))])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_from_rows_infers_domains_in_first_appearance_order(self):
+        rows = [("F", "GP"), ("M", "GP"), ("F", "MS")]
+        schema = Schema.from_rows(["gender", "school"], rows)
+        assert schema.attribute("gender").values == ("F", "M")
+        assert schema.attribute("school").values == ("GP", "MS")
+
+    def test_from_rows_rejects_ragged_rows(self):
+        with pytest.raises(SchemaError):
+            Schema.from_rows(["a", "b"], [("x",)])
+
+    def test_from_domains_preserves_order(self):
+        schema = Schema.from_domains({"a": [1, 2], "b": ["x"]})
+        assert schema.names == ("a", "b")
+        assert schema.cardinalities == (2, 1)
+
+    def test_project(self):
+        schema = self.make_schema()
+        projected = schema.project(["grade", "gender"])
+        assert projected.names == ("grade", "gender")
+
+    def test_total_patterns(self):
+        schema = self.make_schema()
+        # (2+1) * (2+1) * (3+1) - 1 = 35 non-empty patterns.
+        assert schema.total_patterns() == 35
+
+    def test_equality_and_hash(self):
+        assert self.make_schema() == self.make_schema()
+        assert hash(self.make_schema()) == hash(self.make_schema())
+        assert self.make_schema() != Schema([Attribute("x", (1,))])

@@ -1,0 +1,72 @@
+"""Tests for repro.data.synthetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SCORE_COLUMN, SyntheticSpec, random_spec, synthetic_dataset
+from repro.exceptions import DatasetError
+
+
+class TestSyntheticSpec:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            SyntheticSpec(n_rows=0, cardinalities=[2])
+        with pytest.raises(DatasetError):
+            SyntheticSpec(n_rows=10, cardinalities=[])
+        with pytest.raises(DatasetError):
+            SyntheticSpec(n_rows=10, cardinalities=[2, 0])
+        with pytest.raises(DatasetError):
+            SyntheticSpec(n_rows=10, cardinalities=[2], score_weights=[1.0, 2.0])
+        with pytest.raises(DatasetError):
+            SyntheticSpec(n_rows=10, cardinalities=[2], noise=-1.0)
+        with pytest.raises(DatasetError):
+            SyntheticSpec(n_rows=10, cardinalities=[2], skew=0.0)
+
+    def test_default_weights_are_zero(self):
+        spec = SyntheticSpec(n_rows=5, cardinalities=[2, 3])
+        assert np.allclose(spec.weights(), [0.0, 0.0])
+
+
+class TestSyntheticDataset:
+    def test_shape_and_score_column(self):
+        spec = SyntheticSpec(n_rows=50, cardinalities=[2, 3, 4], seed=1)
+        dataset = synthetic_dataset(spec)
+        assert dataset.n_rows == 50
+        assert dataset.n_attributes == 3
+        assert dataset.attribute_names == ("A1", "A2", "A3")
+        assert SCORE_COLUMN in dataset.numeric_names
+
+    def test_deterministic_for_fixed_seed(self):
+        spec = SyntheticSpec(n_rows=40, cardinalities=[2, 2], score_weights=[1.0, 0.0], seed=7)
+        assert synthetic_dataset(spec) == synthetic_dataset(spec)
+
+    def test_different_seeds_differ(self):
+        base = SyntheticSpec(n_rows=40, cardinalities=[2, 2], seed=1)
+        other = SyntheticSpec(n_rows=40, cardinalities=[2, 2], seed=2)
+        assert synthetic_dataset(base) != synthetic_dataset(other)
+
+    def test_score_correlates_with_weighted_attribute(self):
+        spec = SyntheticSpec(
+            n_rows=400, cardinalities=[2, 3], score_weights=[5.0, 0.0], noise=0.1, seed=3
+        )
+        dataset = synthetic_dataset(spec)
+        scores = dataset.numeric_column(SCORE_COLUMN)
+        codes = dataset.column_codes("A1")
+        assert scores[codes == 1].mean() > scores[codes == 0].mean() + 3.0
+
+    def test_domain_values_are_labelled(self):
+        spec = SyntheticSpec(n_rows=10, cardinalities=[3], seed=0)
+        dataset = synthetic_dataset(spec)
+        assert set(dataset.column("A1")).issubset({"v0", "v1", "v2"})
+
+
+class TestRandomSpec:
+    def test_random_spec_is_deterministic_and_valid(self):
+        spec_a = random_spec(seed=5)
+        spec_b = random_spec(seed=5)
+        assert spec_a == spec_b
+        dataset = synthetic_dataset(spec_a)
+        assert dataset.n_rows == spec_a.n_rows
+        assert dataset.n_attributes == spec_a.n_attributes

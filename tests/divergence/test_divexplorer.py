@@ -1,0 +1,94 @@
+"""Tests for repro.divergence (the Section VI-D comparator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pattern import Pattern
+from repro.divergence.divexplorer import (
+    DivergenceDetector,
+    reciprocal_rank_outcome,
+    top_k_outcome,
+)
+from repro.exceptions import DetectionError
+
+
+class TestOutcomeFunctions:
+    def test_top_k_outcome(self, toy_ranking):
+        outcomes = top_k_outcome(toy_ranking, 5)
+        assert outcomes.sum() == 5
+        assert outcomes[toy_ranking.row_at_rank(1)] == 1.0
+        assert outcomes[toy_ranking.row_at_rank(6)] == 0.0
+
+    def test_reciprocal_rank_outcome(self, toy_ranking):
+        outcomes = reciprocal_rank_outcome(toy_ranking, 4)
+        assert outcomes[toy_ranking.row_at_rank(1)] == pytest.approx(1.0)
+        assert outcomes[toy_ranking.row_at_rank(2)] == pytest.approx(0.5)
+        assert outcomes[toy_ranking.row_at_rank(5)] == 0.0
+
+
+class TestDivergenceDetector:
+    def test_frequent_groups_and_divergence_values(self, toy_dataset, toy_ranking):
+        detector = DivergenceDetector(support=0.25, k=4)
+        result = detector.detect(toy_dataset, toy_ranking)
+        assert result.dataset_outcome == pytest.approx(4 / 16)
+        # {School=GP} has 8 members, 1 of which is in the top-4.
+        group = result.group_for(Pattern({"School": "GP"}))
+        assert group.size == 8
+        assert group.outcome == pytest.approx(1 / 8)
+        assert group.divergence == pytest.approx(1 / 8 - 4 / 16)
+
+    def test_all_frequent_subgroups_reported_including_subsumed(self, toy_dataset, toy_ranking):
+        """Unlike our detectors, the divergence method keeps subsumed subgroups."""
+        detector = DivergenceDetector(support=2 / 16, k=4)
+        result = detector.detect(toy_dataset, toy_ranking)
+        patterns = result.patterns()
+        assert Pattern({"Gender": "F"}) in patterns
+        assert Pattern({"Gender": "F", "School": "GP"}) in patterns
+
+    def test_support_threshold_respected(self, toy_dataset, toy_ranking):
+        result = DivergenceDetector(support=0.5, k=4).detect(toy_dataset, toy_ranking)
+        for group in result:
+            assert group.support >= 0.5
+        # Only the single-attribute patterns of size 8 qualify at support 0.5.
+        assert all(len(group.pattern) == 1 for group in result)
+
+    def test_ordering_is_by_ascending_divergence(self, toy_dataset, toy_ranking):
+        result = DivergenceDetector(support=0.2, k=4).detect(toy_dataset, toy_ranking)
+        divergences = [group.divergence for group in result]
+        assert divergences == sorted(divergences)
+        assert result.most_negative(3)[0].divergence == min(divergences)
+
+    def test_rank_of_and_contains(self, toy_dataset, toy_ranking):
+        result = DivergenceDetector(support=0.25, k=4).detect(toy_dataset, toy_ranking)
+        pattern = Pattern({"School": "GP"})
+        assert 1 <= result.rank_of(pattern) <= len(result)
+        assert result.contains([pattern])
+        missing = Pattern({"School": "GP", "Gender": "F", "Address": "R", "Failures": 2})
+        assert not result.contains([missing])
+        with pytest.raises(DetectionError):
+            result.rank_of(missing)
+        with pytest.raises(DetectionError):
+            result.group_for(missing)
+
+    def test_max_pattern_length(self, toy_dataset, toy_ranking):
+        result = DivergenceDetector(support=0.2, k=4, max_pattern_length=1).detect(
+            toy_dataset, toy_ranking
+        )
+        assert all(len(group.pattern) == 1 for group in result)
+
+    def test_custom_outcome_function(self, toy_dataset, toy_ranking):
+        result = DivergenceDetector(support=0.4, k=4, outcome=reciprocal_rank_outcome).detect(
+            toy_dataset, toy_ranking
+        )
+        assert len(result) > 0
+
+    def test_validation(self, toy_dataset, toy_ranking):
+        with pytest.raises(DetectionError):
+            DivergenceDetector(support=0.0, k=4)
+        with pytest.raises(DetectionError):
+            DivergenceDetector(support=0.5, k=0)
+        with pytest.raises(DetectionError):
+            DivergenceDetector(support=0.5, k=4, max_pattern_length=0)
+        with pytest.raises(DetectionError):
+            DivergenceDetector(support=0.5, k=100).detect(toy_dataset, toy_ranking)

@@ -1,0 +1,28 @@
+"""Fixtures for the experiment-harness tests: heavily scaled-down workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import (
+    Workload,
+    compas_workload,
+    german_credit_workload,
+    student_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_student() -> Workload:
+    """Student workload scaled to ~100 rows so experiment tests stay fast."""
+    return student_workload(scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def tiny_compas() -> Workload:
+    return compas_workload(scale=0.03)
+
+
+@pytest.fixture(scope="session")
+def tiny_german() -> Workload:
+    return german_credit_workload(scale=0.2)

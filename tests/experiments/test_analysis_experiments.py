@@ -1,0 +1,96 @@
+"""Tests for the search-gain, result-size survey, Shapley analysis and case study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pattern import Pattern
+from repro.experiments.case_study import divergence_case_study
+from repro.experiments.result_size_survey import result_size_survey
+from repro.experiments.search_gain import search_gain
+from repro.experiments.shapley_analysis import PAPER_FIGURE10_GROUPS, shapley_analysis
+from repro.explain.ranking_explainer import RankingExplainer
+
+
+class TestSearchGain:
+    @pytest.mark.parametrize("problem", ["global", "proportional"])
+    def test_gain_is_positive_and_results_match(self, tiny_student, problem):
+        gain = search_gain(tiny_student, problem, n_attributes=6)
+        assert gain.results_match
+        assert gain.optimized_examined < gain.baseline_examined
+        assert gain.gain_percent > 0
+        assert str(gain.baseline_examined) in gain.describe()
+
+    def test_unknown_problem(self, tiny_student):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            search_gain(tiny_student, "other")
+
+
+class TestResultSizeSurvey:
+    def test_survey_runs_grid_and_summarises(self, tiny_student):
+        summary = result_size_survey(
+            [tiny_student],
+            tau_s_values=(30,),
+            lower_bound_values=(5,),
+            alpha_values=(0.8,),
+            k_max_values=(20,),
+            n_attributes=5,
+            threshold=100,
+        )
+        assert summary.n_runs == 2  # one global + one proportional setting
+        assert 0.0 <= summary.fraction_below_threshold <= 1.0
+        assert "%" in summary.describe()
+        problems = {run.problem for run in summary.runs}
+        assert problems == {"global", "proportional"}
+
+
+class TestShapleyAnalysis:
+    def test_figure10_pipeline_on_scaled_student(self, tiny_student):
+        explainer = RankingExplainer(
+            n_permutations=12, background_size=12, max_group_rows=20, random_state=0
+        )
+        analysis = shapley_analysis(
+            tiny_student,
+            k=30,
+            lower_bound=25.0,
+            preferred_group=PAPER_FIGURE10_GROUPS["student"],
+            explainer=explainer,
+        )
+        assert analysis.workload == "student"
+        assert analysis.detected_groups
+        assert analysis.pattern in analysis.detected_groups
+        # The ranking is by final grade, so a grade attribute must dominate the
+        # aggregated Shapley values (the Section VI-C claim).
+        top_attributes = [c.attribute for c in analysis.explanation.top(3)]
+        assert any(name in {"G1", "G2", "G3"} for name in top_attributes)
+        assert analysis.model_quality["spearman"] > 0.7
+        assert analysis.distribution.k == 30
+        assert "workload student" in analysis.describe()
+
+    def test_fails_cleanly_when_nothing_detected(self, tiny_student):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            shapley_analysis(tiny_student, k=30, lower_bound=0.0)
+
+
+class TestCaseStudy:
+    def test_section_vi_d_shape(self, tiny_student):
+        result = divergence_case_study(tiny_student, n_attributes=4, k=10)
+        # The divergence method returns every frequent subgroup, so its output is
+        # at least as large as either of ours, and contains all of our groups.
+        assert result.n_divergence_groups >= len(result.global_bounds_groups)
+        assert result.n_divergence_groups >= len(result.prop_bounds_groups)
+        assert result.divergence_contains_detected()
+        text = result.describe()
+        assert "GlobalBounds groups" in text and "Divergence method groups" in text
+
+    def test_detected_groups_use_only_first_attributes(self, tiny_student):
+        result = divergence_case_study(tiny_student, n_attributes=4, k=10)
+        allowed = set(tiny_student.dataset().attribute_names[:4])
+        for pattern in result.global_bounds_groups | result.prop_bounds_groups:
+            assert set(pattern.attributes).issubset(allowed)
+        for group in result.divergence_result:
+            assert set(group.pattern.attributes).issubset(allowed)

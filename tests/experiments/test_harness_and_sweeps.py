@@ -1,0 +1,125 @@
+"""Tests for the measurement harness and the figure sweeps (Figures 4-9)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.harness import algorithms_for_problem, measure_run
+from repro.experiments.reporting import format_series_summary, format_sweep, format_table
+from repro.experiments.sweeps import sweep_k_range, sweep_num_attributes, sweep_size_threshold
+
+
+class TestHarness:
+    def test_algorithms_for_problem(self):
+        assert algorithms_for_problem("global") == ("IterTD", "GlobalBounds")
+        assert algorithms_for_problem("proportional") == ("IterTD", "PropBounds")
+        with pytest.raises(ExperimentError):
+            algorithms_for_problem("exotic")
+
+    def test_measure_run_records_everything(self, tiny_student):
+        dataset = tiny_student.projected(6)
+        ranking = tiny_student.ranking().__class__(dataset, tiny_student.ranking().order)
+        measurement = measure_run(
+            "GlobalBounds",
+            dataset,
+            ranking,
+            tiny_student.default_global_bounds(),
+            tau_s=tiny_student.default_tau_s(),
+            k_min=10,
+            k_max=20,
+        )
+        assert measurement.algorithm == "GlobalBounds"
+        assert measurement.seconds > 0
+        assert measurement.nodes_evaluated > 0
+        assert measurement.report.result.k_values == tuple(range(10, 21))
+        assert len(measurement.as_row()) == 4
+
+    def test_measure_run_unknown_algorithm(self, tiny_student):
+        with pytest.raises(ExperimentError):
+            measure_run(
+                "Oracle",
+                tiny_student.dataset(),
+                tiny_student.ranking(),
+                tiny_student.default_global_bounds(),
+                tau_s=5,
+                k_min=10,
+                k_max=12,
+            )
+
+
+class TestSweeps:
+    @pytest.mark.parametrize("problem", ["global", "proportional"])
+    def test_num_attributes_sweep(self, tiny_student, problem):
+        result = sweep_num_attributes(
+            tiny_student, problem, attribute_counts=[3, 5], timeout_seconds=120
+        )
+        assert result.x_values() == (3.0, 5.0)
+        assert set(result.algorithms()) == set(algorithms_for_problem(problem))
+        for algorithm in result.algorithms():
+            series = result.series(algorithm)
+            assert len(series) == 2
+            assert all(not point.skipped for point in series)
+        # Both algorithms of a problem report identical result sizes at every x.
+        baseline, optimized = algorithms_for_problem(problem)
+        for base_point, opt_point in zip(result.series(baseline), result.series(optimized)):
+            assert base_point.total_reported == opt_point.total_reported
+
+    def test_size_threshold_sweep_monotone_work(self, tiny_student):
+        result = sweep_size_threshold(
+            tiny_student, "global", thresholds=[20, 80], timeout_seconds=120, n_attributes=6
+        )
+        for algorithm in result.algorithms():
+            series = result.series(algorithm)
+            # A larger size threshold prunes more patterns, so less work is done.
+            assert series[0].nodes_evaluated >= series[-1].nodes_evaluated
+
+    def test_k_range_sweep(self, tiny_compas):
+        result = sweep_k_range(
+            tiny_compas, "global", k_max_values=[25, 45], timeout_seconds=120, n_attributes=5
+        )
+        for algorithm in result.algorithms():
+            series = result.series(algorithm)
+            assert series[0].x == 25 and series[-1].x == 45
+            assert series[0].nodes_evaluated <= series[-1].nodes_evaluated
+
+    def test_timeout_skips_remaining_points(self, tiny_student):
+        result = sweep_num_attributes(
+            tiny_student, "global", attribute_counts=[3, 4, 5], timeout_seconds=0.0
+        )
+        for algorithm in result.algorithms():
+            series = result.series(algorithm)
+            assert series[0].timed_out
+            assert all(point.skipped for point in series[1:])
+
+    def test_speedup_and_unknown_problem(self, tiny_student):
+        result = sweep_num_attributes(
+            tiny_student, "global", attribute_counts=[4], timeout_seconds=120
+        )
+        speedups = result.speedup()
+        assert set(speedups) == {4.0}
+        assert speedups[4.0] > 0
+        with pytest.raises(ExperimentError):
+            sweep_num_attributes(tiny_student, "weird", attribute_counts=[3])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bbb", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.2346" in lines[2]
+
+    def test_format_sweep_and_summary(self, tiny_student):
+        result = sweep_num_attributes(
+            tiny_student, "global", attribute_counts=[3], timeout_seconds=120
+        )
+        table = format_sweep(result)
+        assert "number of attributes" in table
+        assert "IterTD" in table and "GlobalBounds" in table
+        summary = format_series_summary(result)
+        assert "speedup" in summary
+        assert not math.isnan(result.series("IterTD")[0].seconds)

@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.workloads import (
+    all_workloads,
+    compas_workload,
+    german_credit_workload,
+    student_workload,
+    workload_by_name,
+)
+
+
+class TestWorkloadBasics:
+    def test_names_and_attribute_counts(self):
+        assert student_workload(scale=0.2).name == "student"
+        assert compas_workload(scale=0.02).max_attributes == 16
+        assert german_credit_workload(scale=0.1).max_attributes == 20
+        assert student_workload(scale=0.2).max_attributes == 33
+
+    def test_scale_changes_row_count(self, tiny_student):
+        assert tiny_student.n_rows == pytest.approx(0.25 * 395, abs=1)
+        assert student_workload().n_rows == 395
+
+    def test_scale_validation(self):
+        with pytest.raises(ExperimentError):
+            student_workload(scale=0.0)
+        with pytest.raises(ExperimentError):
+            student_workload(scale=1.5)
+
+    def test_dataset_and_ranking_are_cached(self, tiny_student):
+        assert tiny_student.dataset() is tiny_student.dataset()
+        assert tiny_student.ranking() is tiny_student.ranking()
+        assert len(tiny_student.ranking()) == tiny_student.dataset().n_rows
+
+    def test_projected(self, tiny_student):
+        projected = tiny_student.projected(5)
+        assert projected.n_attributes == 5
+        assert projected.attribute_names == tiny_student.dataset().attribute_names[:5]
+        with pytest.raises(ExperimentError):
+            tiny_student.projected(0)
+        with pytest.raises(ExperimentError):
+            tiny_student.projected(99)
+
+    def test_default_parameters_scale_with_rows(self, tiny_student):
+        k_min, k_max = tiny_student.default_k_range()
+        assert 1 <= k_min <= k_max < tiny_student.n_rows
+        assert tiny_student.default_tau_s() >= 5
+        assert tiny_student.default_global_bounds().lower(10, 0, 0) == 10
+        assert tiny_student.default_proportional_bounds().alpha == pytest.approx(0.8)
+
+
+class TestLookup:
+    def test_workload_by_name(self):
+        assert workload_by_name("student", scale=0.2).name == "student"
+        assert workload_by_name("compas", scale=0.02).name == "compas"
+        assert workload_by_name("german_credit", scale=0.1).name == "german_credit"
+        with pytest.raises(ExperimentError):
+            workload_by_name("adult")
+
+    def test_all_workloads_order(self):
+        names = [workload.name for workload in all_workloads(scale=0.05)]
+        assert names == ["compas", "student", "german_credit"]

@@ -1,0 +1,64 @@
+"""Tests for repro.explain.distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pattern import Pattern
+from repro.exceptions import ExplanationError
+from repro.explain.distributions import compare_distributions
+
+
+class TestCompareDistributions:
+    def test_toy_gender_distribution(self, toy_dataset, toy_ranking):
+        """Top-5 of Figure 1 has 2 F / 3 M; the {School=GP} group has 4 F / 4 M."""
+        comparison = compare_distributions(
+            toy_dataset, toy_ranking, Pattern({"School": "GP"}), "Gender", k=5
+        )
+        assert comparison.top_k_proportions["F"] == pytest.approx(2 / 5)
+        assert comparison.top_k_proportions["M"] == pytest.approx(3 / 5)
+        assert comparison.group_proportions["F"] == pytest.approx(0.5)
+        assert comparison.group_proportions["M"] == pytest.approx(0.5)
+
+    def test_proportions_sum_to_one(self, toy_dataset, toy_ranking):
+        comparison = compare_distributions(
+            toy_dataset, toy_ranking, Pattern({"Gender": "F"}), "Failures", k=6
+        )
+        assert sum(comparison.top_k_proportions.values()) == pytest.approx(1.0)
+        assert sum(comparison.group_proportions.values()) == pytest.approx(1.0)
+        assert set(comparison.values) == {0, 1, 2}
+
+    def test_total_variation_distance(self, toy_dataset, toy_ranking):
+        identical = compare_distributions(
+            toy_dataset, toy_ranking, Pattern({}), "Gender", k=16
+        )
+        assert identical.total_variation_distance() == pytest.approx(0.0)
+        skewed = compare_distributions(
+            toy_dataset, toy_ranking, Pattern({"School": "GP"}), "School", k=5
+        )
+        # Top-5 is 80% MS while the group is 100% GP.
+        assert skewed.total_variation_distance() == pytest.approx(0.8)
+
+    def test_largest_gap(self, toy_dataset, toy_ranking):
+        comparison = compare_distributions(
+            toy_dataset, toy_ranking, Pattern({"School": "GP"}), "School", k=5
+        )
+        value, gap = comparison.largest_gap()
+        assert value in {"GP", "MS"}
+        assert abs(gap) == pytest.approx(0.8)
+
+    def test_describe(self, toy_dataset, toy_ranking):
+        comparison = compare_distributions(
+            toy_dataset, toy_ranking, Pattern({"School": "GP"}), "Gender", k=5
+        )
+        text = comparison.describe()
+        assert "Gender" in text and "top-5" in text
+
+    def test_validation(self, toy_dataset, toy_ranking):
+        with pytest.raises(ExplanationError):
+            compare_distributions(toy_dataset, toy_ranking, Pattern({"School": "GP"}), "Grade", k=5)
+        with pytest.raises(ExplanationError):
+            compare_distributions(
+                toy_dataset, toy_ranking, Pattern({"School": "GP", "Address": "R", "Gender": "M",
+                                                   "Failures": 0}), "Gender", k=5
+            )

@@ -1,0 +1,127 @@
+"""Tests for repro.explain.shapley."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExplanationError
+from repro.explain.shapley import (
+    ShapleyExplainer,
+    exact_shapley_values,
+    sampled_shapley_values,
+)
+
+
+def linear_predict(weights: np.ndarray, intercept: float = 0.0):
+    def predict(features: np.ndarray) -> np.ndarray:
+        return np.asarray(features) @ weights + intercept
+
+    return predict
+
+
+class TestExactShapley:
+    def test_linear_model_closed_form(self, rng):
+        """For a linear model, the Shapley value of feature i is w_i * (x_i - E[z_i])."""
+        weights = np.array([2.0, -1.0, 0.5])
+        background = rng.normal(size=(64, 3))
+        instance = np.array([1.0, 2.0, -1.0])
+        shapley = exact_shapley_values(linear_predict(weights), instance, background)
+        expected = weights * (instance - background.mean(axis=0))
+        assert shapley == pytest.approx(expected, abs=1e-9)
+
+    def test_efficiency_property(self, rng):
+        """Shapley values sum to f(x) - E[f(z)] (local accuracy)."""
+        weights = np.array([1.0, 3.0])
+
+        def predict(features):
+            features = np.asarray(features)
+            return features @ weights + 0.5 * features[:, 0] * features[:, 1]
+
+        background = rng.normal(size=(32, 2))
+        instance = np.array([0.7, -1.2])
+        shapley = exact_shapley_values(predict, instance, background)
+        expected_total = predict(instance.reshape(1, -1))[0] - predict(background).mean()
+        assert shapley.sum() == pytest.approx(expected_total, abs=1e-9)
+
+    def test_irrelevant_feature_gets_zero(self, rng):
+        weights = np.array([1.5, 0.0])
+        background = rng.normal(size=(16, 2))
+        shapley = exact_shapley_values(linear_predict(weights), np.array([1.0, 9.0]), background)
+        assert shapley[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_many_features_rejected(self):
+        background = np.zeros((2, 20))
+        with pytest.raises(ExplanationError):
+            exact_shapley_values(lambda x: np.zeros(len(x)), np.zeros(20), background)
+
+    def test_input_validation(self):
+        with pytest.raises(ExplanationError):
+            exact_shapley_values(lambda x: np.zeros(len(x)), np.zeros(3), np.zeros((0, 3)))
+        with pytest.raises(ExplanationError):
+            exact_shapley_values(lambda x: np.zeros(len(x)), np.zeros(3), np.zeros((4, 2)))
+
+
+class TestSampledShapley:
+    def test_agrees_with_exact_on_linear_model(self, rng):
+        weights = np.array([2.0, -1.0, 0.5, 1.0])
+        background = rng.normal(size=(20, 4))
+        instance = rng.normal(size=4)
+        exact = exact_shapley_values(linear_predict(weights), instance, background)
+        sampled = sampled_shapley_values(
+            linear_predict(weights), instance, background, n_permutations=400,
+            rng=np.random.default_rng(0),
+        )
+        assert sampled == pytest.approx(exact, abs=0.15)
+
+    def test_efficiency_holds_per_permutation_family(self, rng):
+        weights = np.array([1.0, 2.0])
+        background = rng.normal(size=(10, 2))
+        instance = np.array([0.3, -0.8])
+        sampled = sampled_shapley_values(
+            linear_predict(weights, intercept=3.0), instance, background, n_permutations=200,
+            rng=np.random.default_rng(1),
+        )
+        # For a linear model every permutation chain telescopes exactly.
+        expected = weights * (instance - background.mean(axis=0))
+        assert sampled.sum() == pytest.approx(expected.sum(), abs=0.2)
+
+    def test_validation(self, rng):
+        background = rng.normal(size=(4, 2))
+        with pytest.raises(ExplanationError):
+            sampled_shapley_values(lambda x: np.zeros(len(x)), np.zeros(2), background, n_permutations=0)
+
+
+class TestShapleyExplainer:
+    def test_uses_exact_for_few_features(self, rng):
+        weights = np.array([1.0, -2.0])
+        background = rng.normal(size=(16, 2))
+        explainer = ShapleyExplainer(linear_predict(weights), background, exact_limit=5)
+        instance = np.array([2.0, 1.0])
+        assert explainer.explain(instance) == pytest.approx(
+            exact_shapley_values(linear_predict(weights), instance, background), abs=1e-9
+        )
+        assert explainer.n_features == 2
+
+    def test_batch_explanations(self, rng):
+        weights = rng.normal(size=3)
+        background = rng.normal(size=(8, 3))
+        explainer = ShapleyExplainer(linear_predict(weights), background)
+        matrix = explainer.explain_batch(rng.normal(size=(5, 3)))
+        assert matrix.shape == (5, 3)
+
+    def test_sampling_path_for_many_features(self, rng):
+        n_features = 12
+        weights = rng.normal(size=n_features)
+        background = rng.normal(size=(10, n_features))
+        explainer = ShapleyExplainer(
+            linear_predict(weights), background, exact_limit=4, n_permutations=50
+        )
+        values = explainer.explain(rng.normal(size=n_features))
+        assert values.shape == (n_features,)
+
+    def test_validation(self):
+        with pytest.raises(ExplanationError):
+            ShapleyExplainer(lambda x: np.zeros(len(x)), np.zeros((0, 2)))
+        with pytest.raises(ExplanationError):
+            ShapleyExplainer(lambda x: np.zeros(len(x)), np.zeros((2, 2)), exact_limit=20)

@@ -1,0 +1,61 @@
+"""Tests for repro.mlcore.boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.mlcore.boosting import GradientBoostingRegressor
+from repro.mlcore.metrics import r2_score, spearman_correlation
+
+
+class TestGradientBoosting:
+    def test_fits_nonlinear_function(self, rng):
+        features = rng.uniform(-2, 2, size=(400, 2))
+        targets = np.sin(features[:, 0] * 2.0) + 0.5 * features[:, 1] ** 2
+        model = GradientBoostingRegressor(n_estimators=80, learning_rate=0.2, max_depth=3)
+        model.fit(features, targets)
+        assert r2_score(targets, model.predict(features)) > 0.8
+
+    def test_more_estimators_fit_better(self, rng):
+        features = rng.normal(size=(300, 3))
+        targets = features[:, 0] * features[:, 1] + features[:, 2]
+        small = GradientBoostingRegressor(n_estimators=5).fit(features, targets)
+        large = GradientBoostingRegressor(n_estimators=80).fit(features, targets)
+        assert r2_score(targets, large.predict(features)) > r2_score(targets, small.predict(features))
+
+    def test_rank_imitation_quality(self, rng):
+        """The boosted model can imitate a score-based ranking (the Section V use case)."""
+        features = rng.normal(size=(250, 4))
+        score = 3.0 * features[:, 0] - 2.0 * features[:, 2]
+        ranks = np.empty(250)
+        ranks[np.argsort(-score)] = np.arange(1, 251)
+        model = GradientBoostingRegressor(n_estimators=60).fit(features, ranks)
+        assert spearman_correlation(ranks, model.predict(features)) > 0.9
+
+    def test_subsample_and_determinism(self, rng):
+        features = rng.normal(size=(120, 2))
+        targets = features[:, 0]
+        model_a = GradientBoostingRegressor(n_estimators=15, subsample=0.7, random_state=3)
+        model_b = GradientBoostingRegressor(n_estimators=15, subsample=0.7, random_state=3)
+        predictions_a = model_a.fit(features, targets).predict(features)
+        predictions_b = model_b.fit(features, targets).predict(features)
+        assert predictions_a == pytest.approx(predictions_b)
+        assert model_a.n_fitted_trees == 15
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(subsample=1.5)
+        model = GradientBoostingRegressor()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 1)))
+        with pytest.raises(ModelError):
+            model.fit(np.zeros(5), np.zeros(5))
+        fitted = GradientBoostingRegressor(n_estimators=2).fit(rng.normal(size=(20, 2)), rng.normal(size=20))
+        with pytest.raises(ModelError):
+            fitted.predict(np.zeros((3, 4)))

@@ -1,0 +1,62 @@
+"""Tests for repro.mlcore.encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ModelError
+from repro.mlcore.encoding import DatasetEncoder
+
+
+@pytest.fixture()
+def dataset() -> Dataset:
+    return Dataset.from_columns(
+        {"color": ["r", "g", "b", "r"], "size": ["S", "L", "S", "L"]},
+        numeric={"price": [1.0, 2.0, 3.0, 4.0]},
+    )
+
+
+class TestOrdinalEncoding:
+    def test_one_column_per_attribute(self, dataset):
+        encoded = DatasetEncoder().encode(dataset)
+        assert encoded.feature_names == ("color", "size")
+        assert encoded.source_attributes == ("color", "size")
+        assert encoded.features.shape == (4, 2)
+        assert list(encoded.features[:, 0]) == [0.0, 1.0, 2.0, 0.0]
+
+    def test_numeric_columns_appended(self, dataset):
+        encoded = DatasetEncoder(numeric=["price"]).encode(dataset)
+        assert encoded.feature_names == ("color", "size", "price")
+        assert list(encoded.features[:, 2]) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_explicit_categorical_subset(self, dataset):
+        encoded = DatasetEncoder(categorical=["size"]).encode(dataset)
+        assert encoded.feature_names == ("size",)
+        assert encoded.n_features == 1
+
+
+class TestOneHotEncoding:
+    def test_one_column_per_value(self, dataset):
+        encoded = DatasetEncoder(one_hot=True).encode(dataset)
+        assert encoded.features.shape == (4, 5)  # 3 colors + 2 sizes
+        assert "color=r" in encoded.feature_names
+        assert encoded.columns_of_attribute("color") == [0, 1, 2]
+        # Each categorical attribute contributes exactly one 1 per row.
+        color_block = encoded.features[:, encoded.columns_of_attribute("color")]
+        assert np.allclose(color_block.sum(axis=1), 1.0)
+
+
+class TestValidation:
+    def test_unknown_categorical(self, dataset):
+        with pytest.raises(ModelError):
+            DatasetEncoder(categorical=["missing"]).encode(dataset)
+
+    def test_unknown_numeric(self, dataset):
+        with pytest.raises(ModelError):
+            DatasetEncoder(numeric=["missing"]).encode(dataset)
+
+    def test_no_features(self, dataset):
+        with pytest.raises(ModelError):
+            DatasetEncoder(categorical=[]).encode(dataset)

@@ -1,0 +1,56 @@
+"""Tests for repro.mlcore.linear."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.mlcore.linear import RidgeRegression
+from repro.mlcore.metrics import r2_score
+
+
+class TestRidgeRegression:
+    def test_recovers_linear_relationship(self, rng):
+        features = rng.normal(size=(200, 3))
+        targets = 2.0 * features[:, 0] - 1.5 * features[:, 1] + 0.5 + rng.normal(scale=0.01, size=200)
+        model = RidgeRegression(alpha=1e-6).fit(features, targets)
+        assert model.coefficients_ == pytest.approx([2.0, -1.5, 0.0], abs=0.05)
+        assert model.intercept_ == pytest.approx(0.5, abs=0.05)
+        assert r2_score(targets, model.predict(features)) > 0.99
+
+    def test_regularisation_shrinks_coefficients(self, rng):
+        features = rng.normal(size=(100, 2))
+        targets = 3.0 * features[:, 0] + rng.normal(scale=0.1, size=100)
+        weak = RidgeRegression(alpha=0.001).fit(features, targets)
+        strong = RidgeRegression(alpha=1000.0).fit(features, targets)
+        assert abs(strong.coefficients_[0]) < abs(weak.coefficients_[0])
+
+    def test_predict_single_row(self, rng):
+        features = rng.normal(size=(50, 2))
+        targets = features[:, 0]
+        model = RidgeRegression().fit(features, targets)
+        single = model.predict(features[0])
+        assert single.shape == (1,)
+
+    def test_errors(self, rng):
+        model = RidgeRegression()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((2, 2)))
+        with pytest.raises(ModelError):
+            RidgeRegression(alpha=-1.0)
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((3,)), np.zeros(3))
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+        fitted = RidgeRegression().fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+        with pytest.raises(ModelError):
+            fitted.predict(np.zeros((2, 5)))
+
+    def test_constant_target(self, rng):
+        features = rng.normal(size=(30, 2))
+        targets = np.full(30, 7.0)
+        model = RidgeRegression().fit(features, targets)
+        assert model.predict(features) == pytest.approx(np.full(30, 7.0), abs=1e-6)

@@ -1,0 +1,69 @@
+"""Tests for repro.mlcore.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mlcore.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    spearman_correlation,
+)
+
+
+class TestErrorMetrics:
+    def test_mse_and_mae(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.array([1.0, 3.0, 5.0])
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(5 / 3)
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(1.0)
+
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y_true = np.array([1.0, 2.0, 3.0, 4.0])
+        y_pred = np.full(4, y_true.mean())
+        assert r2_score(y_true, y_pred) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score(np.array([2.0, 2.0]), np.array([1.0, 3.0])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            mean_squared_error(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ModelError):
+            r2_score(np.array([]), np.array([]))
+
+
+class TestSpearman:
+    def test_perfect_monotone_agreement(self):
+        y_true = np.array([1.0, 2.0, 3.0, 4.0])
+        y_pred = np.array([10.0, 20.0, 30.0, 40.0])
+        assert spearman_correlation(y_true, y_pred) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        y_true = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(y_true, y_true[::-1]) == pytest.approx(-1.0)
+
+    def test_ties_are_averaged(self):
+        y_true = np.array([1.0, 1.0, 2.0, 3.0])
+        y_pred = np.array([1.0, 1.0, 2.0, 3.0])
+        assert spearman_correlation(y_true, y_pred) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        rng = np.random.default_rng(0)
+        y_true = rng.normal(size=50)
+        y_pred = y_true + rng.normal(scale=0.8, size=50)
+        expected = stats.spearmanr(y_true, y_pred).statistic
+        assert spearman_correlation(y_true, y_pred) == pytest.approx(expected, abs=1e-9)
+
+    def test_constant_input_gives_zero(self):
+        assert spearman_correlation(np.array([1.0, 1.0]), np.array([2.0, 3.0])) == 0.0

@@ -1,0 +1,49 @@
+"""Tests for repro.mlcore.model_selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mlcore.model_selection import k_fold_indices, train_test_split_indices
+
+
+class TestTrainTestSplit:
+    def test_partition_covers_all_rows(self):
+        train, test = train_test_split_indices(100, test_fraction=0.25, seed=1)
+        assert len(train) == 75 and len(test) == 25
+        assert sorted(np.concatenate([train, test])) == list(range(100))
+
+    def test_deterministic_per_seed(self):
+        assert list(train_test_split_indices(50, seed=7)[1]) == list(train_test_split_indices(50, seed=7)[1])
+        assert list(train_test_split_indices(50, seed=7)[1]) != list(train_test_split_indices(50, seed=8)[1])
+
+    def test_at_least_one_row_on_each_side(self):
+        train, test = train_test_split_indices(2, test_fraction=0.9)
+        assert len(train) == 1 and len(test) == 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            train_test_split_indices(1)
+        with pytest.raises(ModelError):
+            train_test_split_indices(10, test_fraction=0.0)
+        with pytest.raises(ModelError):
+            train_test_split_indices(10, test_fraction=1.0)
+
+
+class TestKFold:
+    def test_folds_partition_the_data(self):
+        splits = k_fold_indices(23, n_folds=4, seed=0)
+        assert len(splits) == 4
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test) == list(range(23))
+        for train, test in splits:
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 23
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            k_fold_indices(10, n_folds=1)
+        with pytest.raises(ModelError):
+            k_fold_indices(3, n_folds=5)

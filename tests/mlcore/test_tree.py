@@ -1,0 +1,76 @@
+"""Tests for repro.mlcore.tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.mlcore.metrics import r2_score
+from repro.mlcore.tree import DecisionTreeRegressor
+
+
+class TestDecisionTree:
+    def test_fits_a_step_function_exactly(self):
+        features = np.arange(20, dtype=float).reshape(-1, 1)
+        targets = (features[:, 0] >= 10).astype(float) * 5.0
+        model = DecisionTreeRegressor(max_depth=2, min_samples_leaf=1, min_samples_split=2)
+        model.fit(features, targets)
+        assert list(model.predict(features)) == pytest.approx(list(targets))
+        assert model.depth == 1
+
+    def test_depth_limit_respected(self, rng):
+        features = rng.normal(size=(200, 3))
+        targets = np.sin(features[:, 0] * 3) + features[:, 1] ** 2
+        model = DecisionTreeRegressor(max_depth=3).fit(features, targets)
+        assert model.depth <= 3
+
+    def test_deeper_trees_fit_better(self, rng):
+        features = rng.normal(size=(300, 2))
+        targets = features[:, 0] * features[:, 1]
+        shallow = DecisionTreeRegressor(max_depth=2).fit(features, targets)
+        deep = DecisionTreeRegressor(max_depth=8).fit(features, targets)
+        assert r2_score(targets, deep.predict(features)) > r2_score(targets, shallow.predict(features))
+
+    def test_min_samples_leaf(self, rng):
+        features = rng.normal(size=(50, 1))
+        targets = rng.normal(size=50)
+        model = DecisionTreeRegressor(max_depth=10, min_samples_leaf=25).fit(features, targets)
+        # With a leaf minimum of half the data at most one split is possible.
+        assert model.depth <= 1
+
+    def test_constant_target_yields_single_leaf(self):
+        features = np.arange(10, dtype=float).reshape(-1, 1)
+        model = DecisionTreeRegressor().fit(features, np.full(10, 3.0))
+        assert model.depth == 0
+        assert model.predict(features) == pytest.approx(np.full(10, 3.0))
+
+    def test_max_features_subsampling(self, rng):
+        features = rng.normal(size=(100, 5))
+        targets = features[:, 4] * 2.0
+        model = DecisionTreeRegressor(max_depth=4, max_features=2, random_state=0).fit(features, targets)
+        predictions = model.predict(features)
+        assert predictions.shape == (100,)
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+        model = DecisionTreeRegressor()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 1)))
+        with pytest.raises(NotFittedError):
+            _ = model.depth
+        with pytest.raises(ModelError):
+            model.fit(np.zeros(3), np.zeros(3))
+        fitted = DecisionTreeRegressor().fit(rng.normal(size=(20, 2)), rng.normal(size=20))
+        with pytest.raises(ModelError):
+            fitted.predict(np.zeros((2, 3)))
+
+    def test_predict_single_row(self, rng):
+        features = rng.normal(size=(30, 2))
+        model = DecisionTreeRegressor().fit(features, features[:, 0])
+        assert model.predict(features[0]).shape == (1,)

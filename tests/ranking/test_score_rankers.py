@@ -1,0 +1,85 @@
+"""Tests for repro.ranking.score (AttributeRanker and ScoreRanker)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.generators.toy import figure1_order, students_toy
+from repro.exceptions import RankingError
+from repro.ranking.score import AttributeRanker, ScoreRanker, min_max_normalize
+from repro.ranking.workloads import toy_ranker
+
+
+class TestMinMaxNormalize:
+    def test_normalises_to_unit_interval(self):
+        values = np.array([2.0, 4.0, 6.0])
+        assert list(min_max_normalize(values)) == [0.0, 0.5, 1.0]
+
+    def test_constant_column_maps_to_zero(self):
+        assert list(min_max_normalize(np.array([3.0, 3.0]))) == [0.0, 0.0]
+
+
+class TestAttributeRanker:
+    def test_reproduces_figure1_ranking(self):
+        """The running example: grade descending, ties broken by fewer failures."""
+        dataset = students_toy()
+        ranking = toy_ranker().rank(dataset)
+        assert tuple(ranking.order) == figure1_order()
+
+    def test_tiebreak_direction(self):
+        dataset = Dataset.from_columns(
+            {"x": ["a", "b", "c"]},
+            numeric={"score": [1.0, 1.0, 2.0], "tie": [5.0, 3.0, 0.0]},
+        )
+        ascending_tie = AttributeRanker("score", tiebreak_column="tie").rank(dataset)
+        assert list(ascending_tie.order) == [2, 1, 0]
+        descending_tie = AttributeRanker(
+            "score", tiebreak_column="tie", tiebreak_descending=True
+        ).rank(dataset)
+        assert list(descending_tie.order) == [2, 0, 1]
+
+    def test_ascending_score(self):
+        dataset = Dataset.from_columns({"x": ["a", "b"]}, numeric={"score": [2.0, 1.0]})
+        ranking = AttributeRanker("score", descending=False).rank(dataset)
+        assert list(ranking.order) == [1, 0]
+
+
+class TestScoreRanker:
+    @pytest.fixture()
+    def dataset(self) -> Dataset:
+        return Dataset.from_columns(
+            {"x": ["a", "b", "c", "d"]},
+            numeric={
+                "points": [0.0, 10.0, 5.0, 10.0],
+                "age": [20.0, 60.0, 40.0, 20.0],
+            },
+        )
+
+    def test_equal_weights(self, dataset):
+        ranker = ScoreRanker(weights=["points"])
+        assert list(ranker.rank(dataset).order) == [1, 3, 2, 0]
+
+    def test_ascending_column_is_flipped(self, dataset):
+        """Smaller age should contribute a higher score (as for COMPAS in the paper)."""
+        ranker = ScoreRanker(weights=["points", "age"], ascending_columns=["age"])
+        scores = ranker.scores(dataset)
+        # Row 3 has max points and min age -> the best combined score.
+        assert int(np.argmax(scores)) == 3
+        assert list(ranker.rank(dataset).order)[0] == 3
+
+    def test_weight_mapping(self, dataset):
+        ranker = ScoreRanker(weights={"points": 0.1, "age": 10.0}, ascending_columns=["age"])
+        # Age dominates: youngest rows first, points break the near-ties.
+        assert list(ranker.rank(dataset).order)[:2] == [3, 0]
+
+    def test_validation(self):
+        with pytest.raises(RankingError):
+            ScoreRanker(weights=[])
+        with pytest.raises(RankingError):
+            ScoreRanker(weights=["a"], ascending_columns=["b"])
+
+    def test_score_columns_exposed(self, dataset):
+        ranker = ScoreRanker(weights=["points", "age"])
+        assert ranker.score_columns == ("points", "age")

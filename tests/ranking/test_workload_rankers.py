@@ -1,0 +1,49 @@
+"""Tests for the per-dataset rankers of repro.ranking.workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators.compas import SCORE_ATTRIBUTES, compas_dataset
+from repro.data.generators.german_credit import german_credit_dataset
+from repro.data.generators.student import student_dataset
+from repro.ranking.workloads import compas_ranker, german_credit_ranker, student_ranker
+
+
+class TestStudentRanker:
+    def test_orders_by_final_grade(self):
+        dataset = student_dataset(n_rows=100, seed=1)
+        ranking = student_ranker().rank(dataset)
+        grades = dataset.numeric_column("G3")[ranking.order]
+        assert all(earlier >= later for earlier, later in zip(grades, grades[1:]))
+
+
+class TestCompasRanker:
+    def test_uses_all_seven_scoring_attributes(self):
+        ranker = compas_ranker()
+        assert set(ranker.score_columns) == set(SCORE_ATTRIBUTES)
+
+    def test_age_is_inverted(self):
+        """Among the top-ranked tuples younger defendants should be over-represented."""
+        dataset = compas_dataset(n_rows=1500, seed=3)
+        ranking = compas_ranker().rank(dataset)
+        ages = dataset.numeric_column("age")
+        top_mean_age = ages[ranking.top_k_rows(150)].mean()
+        assert top_mean_age < ages.mean()
+
+    def test_scores_are_monotone_with_order(self):
+        dataset = compas_dataset(n_rows=500, seed=4)
+        ranker = compas_ranker()
+        scores = ranker.scores(dataset)
+        order = ranker.rank(dataset).order
+        ordered_scores = scores[order]
+        assert all(a >= b - 1e-12 for a, b in zip(ordered_scores, ordered_scores[1:]))
+
+
+class TestGermanCreditRanker:
+    def test_orders_by_creditworthiness(self):
+        dataset = german_credit_dataset(n_rows=200, seed=5)
+        ranking = german_credit_ranker().rank(dataset)
+        scores = dataset.numeric_column("creditworthiness")[ranking.order]
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+        assert np.argmax(dataset.numeric_column("creditworthiness")) == ranking.order[0]

@@ -1,0 +1,96 @@
+"""End-to-end integration tests: the full pipeline the README advertises.
+
+The flow mirrors the paper's intended usage: rank a dataset with a black-box ranker,
+detect the most general groups with biased representation, explain a detected group
+with Shapley values, and compare its value distribution against the top-k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GlobalBoundSpec,
+    ProportionalBoundSpec,
+    detect_biased_groups,
+)
+from repro.data.generators.student import student_dataset
+from repro.divergence import DivergenceDetector
+from repro.explain import RankingExplainer, compare_distributions
+from repro.ranking import AttributeRanker
+
+
+@pytest.fixture(scope="module")
+def pipeline_workload():
+    dataset = student_dataset(n_rows=180, seed=21)
+    # Keep a representative slice of the schema (demographics plus the grade
+    # attributes) so the end-to-end runs stay fast while exercising every stage.
+    attributes = list(dataset.attribute_names[:9]) + ["G1", "G2", "G3"]
+    dataset = dataset.project(attributes)
+    ranking = AttributeRanker(score_column="G3", descending=True).rank(dataset)
+    return dataset, ranking
+
+
+class TestEndToEndPipeline:
+    def test_detect_explain_and_compare(self, pipeline_workload):
+        dataset, ranking = pipeline_workload
+
+        # 1. Detection (proportional representation, Problem 3.2).
+        report = detect_biased_groups(
+            dataset,
+            ranking,
+            ProportionalBoundSpec(alpha=0.8),
+            tau_s=20,
+            k_min=10,
+            k_max=30,
+        )
+        assert report.algorithm == "PropBounds"
+        assert report.result.k_values == tuple(range(10, 31))
+        assert report.result.total_reported() > 0
+
+        # 2. Pick the largest detected group at the largest k.
+        detailed = report.detailed_groups(30, order_by="size")
+        assert detailed, "expected at least one group at k=30"
+        group = detailed[0]
+        assert group.size_in_data >= 20
+        assert group.count_in_top_k < group.bound
+
+        # 3. Explain it with the rank-imitation model + Shapley values.
+        explainer = RankingExplainer(
+            n_permutations=16, background_size=16, max_group_rows=25, random_state=0
+        )
+        explainer.fit(dataset, ranking)
+        explanation = explainer.explain_group(group.pattern)
+        top_attribute = explanation.top(1)[0].attribute
+        assert top_attribute in dataset.attribute_names
+        # The ranker uses the final grade, so a grade attribute should carry the
+        # largest aggregated Shapley value.
+        assert top_attribute in {"G1", "G2", "G3"}
+
+        # 4. Compare the value distribution of the top attribute (Figure 10d analogue).
+        comparison = compare_distributions(dataset, ranking, group.pattern, top_attribute, k=30)
+        assert comparison.total_variation_distance() > 0.0
+
+    def test_global_and_proportional_detect_different_but_overlapping_views(self, pipeline_workload):
+        dataset, ranking = pipeline_workload
+        global_report = detect_biased_groups(
+            dataset, ranking, GlobalBoundSpec(lower_bounds=10), tau_s=20, k_min=10, k_max=20
+        )
+        prop_report = detect_biased_groups(
+            dataset, ranking, ProportionalBoundSpec(alpha=0.8), tau_s=20, k_min=10, k_max=20
+        )
+        assert global_report.algorithm == "GlobalBounds"
+        assert prop_report.algorithm == "PropBounds"
+        # Global bounds (a fixed quota of 10 per group) flag at least as many groups
+        # as the proportional criterion for this workload.
+        assert global_report.result.total_reported() >= prop_report.result.total_reported()
+
+    def test_divergence_view_is_a_superset_style_output(self, pipeline_workload):
+        dataset, ranking = pipeline_workload
+        our_report = detect_biased_groups(
+            dataset, ranking, GlobalBoundSpec(lower_bounds=5), tau_s=30, k_min=15, k_max=15
+        )
+        divergence = DivergenceDetector(support=30 / dataset.n_rows, k=15).detect(dataset, ranking)
+        assert len(divergence) >= len(our_report.groups_at(15))
+        for pattern in our_report.groups_at(15):
+            assert divergence.rank_of(pattern) >= 1

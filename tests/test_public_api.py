@@ -1,0 +1,51 @@
+"""Smoke tests for the package-level public API."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} is exported but missing"
+
+    def test_subpackages_importable(self):
+        import repro.core
+        import repro.data
+        import repro.divergence
+        import repro.experiments
+        import repro.explain
+        import repro.mlcore
+        import repro.ranking
+
+        for module in (
+            repro.core,
+            repro.data,
+            repro.divergence,
+            repro.experiments,
+            repro.explain,
+            repro.mlcore,
+            repro.ranking,
+        ):
+            assert module.__doc__
+
+    def test_exceptions_hierarchy(self):
+        from repro import exceptions
+
+        for name in (
+            "SchemaError",
+            "DatasetError",
+            "RankingError",
+            "BoundSpecError",
+            "DetectionError",
+            "ModelError",
+            "NotFittedError",
+            "ExplanationError",
+            "ExperimentError",
+        ):
+            error_class = getattr(exceptions, name)
+            assert issubclass(error_class, exceptions.ReproError)
