@@ -68,3 +68,23 @@ def projected_instance(workload: Workload, n_attributes: int):
     dataset = workload.projected(n_attributes)
     ranking = Ranking(dataset, workload.ranking().order)
     return dataset, ranking
+
+
+# -- opt-in benchmark smoke tests ---------------------------------------------------
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: engine throughput smoke tests; opt in with `-m bench_smoke` "
+        "(skipped by default so tier-1 stays fast)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``bench_smoke`` tests unless they were explicitly selected with ``-m``."""
+    mark_expression = config.option.markexpr or ""
+    if "bench_smoke" in mark_expression:
+        return
+    skip = pytest.mark.skip(reason="opt-in benchmark smoke test; run with -m bench_smoke")
+    for item in items:
+        if "bench_smoke" in item.keywords:
+            item.add_marker(skip)

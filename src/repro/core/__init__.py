@@ -17,6 +17,7 @@ from repro.core.bounds import (
 )
 from repro.core.brute_force import brute_force_detection, enumerate_patterns
 from repro.core.detector import DetectionParameters, DetectionReport, Detector
+from repro.core.engine import CountingEngine, NaiveCounter
 from repro.core.global_bounds import GlobalBoundsDetector
 from repro.core.iter_td import IterTDDetector
 from repro.core.pattern import EMPTY_PATTERN, Pattern
@@ -83,6 +84,8 @@ __all__ = [
     "Pattern",
     "EMPTY_PATTERN",
     "PatternCounter",
+    "CountingEngine",
+    "NaiveCounter",
     "SearchTree",
     "SearchState",
     "top_down_search",

@@ -12,6 +12,8 @@ from __future__ import annotations
 from itertools import product
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.bounds import BoundSpec
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
@@ -66,12 +68,18 @@ def brute_force_detection(
         if size >= tau_s:
             qualified.append((pattern, size))
 
-    per_k: dict[int, frozenset[Pattern]] = {}
-    for k in range(k_min, k_max + 1):
-        violating = [
-            pattern
-            for pattern, size in qualified
-            if counter.top_k_count(pattern, k) < bound.lower(k, size, dataset_size)
-        ]
-        per_k[k] = minimal_patterns(violating)
+    # One vectorised prefix-count sweep per pattern covers the whole k range at
+    # once (the engine answers all ks with a single searchsorted over the
+    # pattern's rank positions).
+    ks = np.arange(k_min, k_max + 1)
+    violating_per_k: dict[int, list[Pattern]] = {int(k): [] for k in ks}
+    for pattern, size in qualified:
+        counts = counter.top_k_counts(pattern, ks)
+        for k, count in zip(ks, counts):
+            if count < bound.lower(int(k), size, dataset_size):
+                violating_per_k[int(k)].append(pattern)
+
+    per_k: dict[int, frozenset[Pattern]] = {
+        k: minimal_patterns(violating) for k, violating in violating_per_k.items()
+    }
     return DetectionResult(per_k)

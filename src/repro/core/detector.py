@@ -13,6 +13,8 @@ import abc
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.bounds import BoundSpec
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
@@ -134,15 +136,42 @@ class Detector(abc.ABC):
     def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
         """Compute the per-k most general biased patterns."""
 
-    def detect(self, dataset: Dataset, ranking: Ranking | Ranker) -> DetectionReport:
-        """Run the detector over ``dataset`` ranked by ``ranking`` (or a ranker)."""
+    def detect(
+        self,
+        dataset: Dataset,
+        ranking: Ranking | Ranker,
+        counter: PatternCounter | None = None,
+    ) -> DetectionReport:
+        """Run the detector over ``dataset`` ranked by ``ranking`` (or a ranker).
+
+        ``counter`` may be supplied to reuse a warm counting engine or to route the
+        run through an alternative counter implementation (e.g. the naive
+        per-pattern reference path in :mod:`repro.core.engine.naive`); by default a
+        fresh engine-backed :class:`PatternCounter` is built.
+        """
         self.parameters.validate_for(dataset)
         if isinstance(ranking, Ranker):
             ranking = ranking.rank(dataset)
-        counter = PatternCounter(dataset, ranking)
+        if counter is None:
+            counter = PatternCounter(dataset, ranking)
+        else:
+            if counter.dataset is not dataset and counter.dataset != dataset:
+                raise DetectionError("the supplied counter was built over a different dataset")
+            counter_ranking = counter.ranking
+            if counter_ranking is not ranking and not np.array_equal(
+                counter_ranking.order, ranking.order
+            ):
+                raise DetectionError("the supplied counter was built over a different ranking")
+        # A reused (warm) counter carries cumulative instrumentation; snapshot it so
+        # the report only attributes this run's work.
+        snapshot = getattr(counter, "stats_snapshot", None)
+        baseline = snapshot() if snapshot is not None else None
         stats = SearchStats()
         started = time.perf_counter()
         per_k = self._run(counter, stats)
         stats.elapsed_seconds = time.perf_counter() - started
+        publish = getattr(counter, "publish_stats", None)
+        if publish is not None:
+            publish(stats, since=baseline)
         result = DetectionResult(per_k)
         return DetectionReport(self.name, self.parameters, result, stats, counter)

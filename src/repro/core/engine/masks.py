@@ -1,0 +1,128 @@
+"""Prefix-count match representations: adaptive dense / sparse pattern matches.
+
+A pattern's match over the rank-ordered dataset is fully described by the sorted
+array of rank positions it occupies.  Both representations below answer the two
+queries the detectors need in sub-linear time for *any* ``k``:
+
+* ``size`` — the number of matching rows (``s_D(p)``);
+* ``top_k_count(k)`` — the number of matches among the first ``k`` ranks
+  (``s_Rk(D)(p)``), answered by a prefix lookup (dense) or one binary search
+  (sparse) instead of the seed's ``mask[:k].sum()`` full scan.
+
+:class:`DenseMatch` keeps the boolean mask (plus a lazily built cumulative-count
+array) and is used for unselective patterns near the lattice root, where an index
+array would cost four bytes per row.  :class:`SparseMatch` keeps only the ``int32``
+rank positions, so deep-lattice patterns cost memory proportional to their group
+size.  :func:`make_match` picks the representation by comparing the pattern's
+selectivity against a threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+POSITION_DTYPE = np.int32
+
+#: Default selectivity (group size / dataset size) above which a match is stored
+#: densely.  At 32 rows per int32 a sparse entry overtakes the dense boolean mask
+#: in memory at selectivity 0.25, which is also where bulk mask operations start
+#: beating index gathers.
+DEFAULT_SPARSE_THRESHOLD = 0.25
+
+
+class DenseMatch:
+    """Match stored as a full boolean mask with a lazy cumulative-count prefix."""
+
+    __slots__ = ("mask", "_prefix", "_positions")
+
+    is_dense = True
+
+    def __init__(self, mask: np.ndarray) -> None:
+        self.mask = mask
+        self._prefix: np.ndarray | None = None
+        self._positions: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return int(self.prefix[-1])
+
+    @property
+    def prefix(self) -> np.ndarray:
+        """``prefix[k]`` = number of matches among the first ``k`` ranks."""
+        if self._prefix is None:
+            prefix = np.zeros(self.mask.shape[0] + 1, dtype=POSITION_DTYPE)
+            np.cumsum(self.mask, dtype=POSITION_DTYPE, out=prefix[1:])
+            self._prefix = prefix
+        return self._prefix
+
+    def top_k_count(self, k: int) -> int:
+        return int(self.prefix[k])
+
+    def top_k_counts(self, ks: np.ndarray) -> np.ndarray:
+        return self.prefix[np.asarray(ks)]
+
+    def positions(self) -> np.ndarray:
+        """Sorted rank positions of the matches (cached after first use)."""
+        if self._positions is None:
+            self._positions = np.flatnonzero(self.mask).astype(POSITION_DTYPE)
+        return self._positions
+
+    def contains_position(self, position: int) -> bool:
+        return bool(self.mask[position])
+
+    def boolean_mask(self) -> np.ndarray:
+        return self.mask
+
+    def nbytes(self) -> int:
+        return int(self.mask.nbytes)
+
+
+class SparseMatch:
+    """Match stored as a sorted ``int32`` array of rank positions."""
+
+    __slots__ = ("_positions",)
+
+    is_dense = False
+
+    def __init__(self, positions: np.ndarray) -> None:
+        self._positions = positions
+
+    @property
+    def size(self) -> int:
+        return int(self._positions.shape[0])
+
+    def top_k_count(self, k: int) -> int:
+        return int(np.searchsorted(self._positions, k, side="left"))
+
+    def top_k_counts(self, ks: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self._positions, np.asarray(ks), side="left")
+
+    def positions(self) -> np.ndarray:
+        return self._positions
+
+    def contains_position(self, position: int) -> bool:
+        index = int(np.searchsorted(self._positions, position, side="left"))
+        return index < self._positions.shape[0] and int(self._positions[index]) == position
+
+    def boolean_mask(self, n_rows: int) -> np.ndarray:
+        mask = np.zeros(n_rows, dtype=bool)
+        mask[self._positions] = True
+        return mask
+
+    def nbytes(self) -> int:
+        return int(self._positions.nbytes)
+
+
+def make_match(
+    positions: np.ndarray,
+    n_rows: int,
+    sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD,
+) -> DenseMatch | SparseMatch:
+    """Wrap sorted rank ``positions`` in the representation their selectivity earns."""
+    if n_rows > 0 and positions.shape[0] / n_rows >= sparse_threshold:
+        mask = np.zeros(n_rows, dtype=bool)
+        mask[positions] = True
+        return DenseMatch(mask)
+    if positions.dtype != POSITION_DTYPE:
+        positions = positions.astype(POSITION_DTYPE)
+    return SparseMatch(positions)

@@ -68,7 +68,7 @@ class GlobalBoundsDetector(Detector):
         """Advance the search state from ``k - 1`` to ``k`` under an unchanged bound."""
         dataset_size = counter.dataset_size
         lower = bound.lower(k, 0, dataset_size)
-        tree = counter.tree
+        tau_s = self.parameters.tau_s
         queue: deque[Pattern] = deque()
 
         # Only below-bound patterns satisfied by the newly added tuple R(D)[k] can
@@ -84,26 +84,26 @@ class GlobalBoundsDetector(Detector):
             else:
                 del state.below[pattern]
                 state.expanded[pattern] = new_count
-                children = list(tree.children(pattern))
-                stats.nodes_generated += len(children)
-                queue.extend(children)
+                queue.append(pattern)
 
         # Resume the top-down search underneath the patterns that stopped violating.
+        # The queue holds *parents* whose subtree was never explored; popping one
+        # evaluates its children one vectorised sibling block per attribute.
         while queue:
-            pattern = queue.popleft()
-            if state.is_visited(pattern):
-                continue
-            size = counter.size(pattern)
-            stats.size_computations += 1
-            if size < self.parameters.tau_s:
-                continue
-            state.sizes[pattern] = size
-            count = counter.top_k_count(pattern, k)
-            stats.nodes_evaluated += 1
-            if count < lower:
-                state.below[pattern] = count
-            else:
-                state.expanded[pattern] = count
-                children = list(tree.children(pattern))
-                stats.nodes_generated += len(children)
-                queue.extend(children)
+            parent = queue.popleft()
+            for block in counter.child_blocks(parent, k):
+                stats.nodes_generated += block.n_children
+                stats.size_computations += block.n_children
+                for child, size, count in block.qualifying(tau_s):
+                    if state.is_visited(child):
+                        # Visited patterns always had adequate size, so the seed
+                        # code skipped them before computing anything.
+                        stats.size_computations -= 1
+                        continue
+                    state.sizes[child] = size
+                    stats.nodes_evaluated += 1
+                    if count < lower:
+                        state.below[child] = count
+                    else:
+                        state.expanded[child] = count
+                        queue.append(child)

@@ -5,6 +5,11 @@ Algorithm 1 from scratch and reports the most general patterns whose top-k count
 falls below the lower bound.  It works unchanged for both problem definitions
 (global representation bounds and proportional representation) because the bound is
 abstracted behind :class:`~repro.core.bounds.BoundSpec`.
+
+Although the baseline's *traversal* restarts per k, its counting rides the engine's
+k-sweep fast path: the first sweep populates prefix-count sibling blocks, and every
+later sweep answers each block from cache with one binary search per surviving
+child, so the k_min..k_max range no longer costs a full mask scan per (pattern, k).
 """
 
 from __future__ import annotations

@@ -111,12 +111,17 @@ class PropBoundsDetector(Detector):
     ) -> None:
         dataset_size = counter.dataset_size
         tau_s = self.parameters.tau_s
-        tree = counter.tree
         queue: deque[Pattern] = deque()
         stats.bump("incremental_steps")
 
-        # Step 1a: expanded patterns satisfied by the new tuple R(D)[k].
+        # Both touched sets are snapshotted *before* any category changes: a
+        # pattern demoted from expanded to below in step 1a must not be bumped a
+        # second time for the same tuple in step 1b (Algorithm 3 computes the set
+        # of patterns satisfied by R(D)[k] once).
         touched_expanded = [p for p in state.expanded if counter.row_satisfies(k, p)]
+        touched_below = [p for p in state.below if counter.row_satisfies(k, p)]
+
+        # Step 1a: expanded patterns satisfied by the new tuple R(D)[k].
         for pattern in touched_expanded:
             new_count = state.expanded[pattern] + 1
             stats.nodes_evaluated += 1
@@ -131,7 +136,6 @@ class PropBoundsDetector(Detector):
                                dataset_size, stats)
 
         # Step 1b: below-bound patterns satisfied by the new tuple.
-        touched_below = [p for p in state.below if counter.row_satisfies(k, p)]
         for pattern in touched_below:
             new_count = state.below[pattern] + 1
             stats.nodes_evaluated += 1
@@ -142,31 +146,31 @@ class PropBoundsDetector(Detector):
                 state.expanded[pattern] = new_count
                 self._schedule(bound, state, schedule, k_tilde_of, pattern, new_count, k,
                                dataset_size, stats)
-                children = list(tree.children(pattern))
-                stats.nodes_generated += len(children)
-                queue.extend(children)
+                queue.append(pattern)
 
         # Step 2: resume the top-down search underneath the newly expanded patterns.
+        # The queue holds *parents* whose subtree was never explored; popping one
+        # evaluates its children one vectorised sibling block per attribute.
         while queue:
-            pattern = queue.popleft()
-            if state.is_visited(pattern):
-                continue
-            size = counter.size(pattern)
-            stats.size_computations += 1
-            if size < tau_s:
-                continue
-            state.sizes[pattern] = size
-            count = counter.top_k_count(pattern, k)
-            stats.nodes_evaluated += 1
-            if count < bound.lower(k, size, dataset_size):
-                state.below[pattern] = count
-            else:
-                state.expanded[pattern] = count
-                self._schedule(bound, state, schedule, k_tilde_of, pattern, count, k,
-                               dataset_size, stats)
-                children = list(tree.children(pattern))
-                stats.nodes_generated += len(children)
-                queue.extend(children)
+            parent = queue.popleft()
+            for block in counter.child_blocks(parent, k):
+                stats.nodes_generated += block.n_children
+                stats.size_computations += block.n_children
+                for child, size, count in block.qualifying(tau_s):
+                    if state.is_visited(child):
+                        # Visited patterns always had adequate size, so the seed
+                        # code skipped them before computing anything.
+                        stats.size_computations -= 1
+                        continue
+                    state.sizes[child] = size
+                    stats.nodes_evaluated += 1
+                    if count < bound.lower(k, size, dataset_size):
+                        state.below[child] = count
+                    else:
+                        state.expanded[child] = count
+                        self._schedule(bound, state, schedule, k_tilde_of, child, count, k,
+                                       dataset_size, stats)
+                        queue.append(child)
 
         # Step 3: expanded patterns whose k-tilde is due (and were not bumped past it).
         due = schedule.pop(k, set())

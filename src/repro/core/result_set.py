@@ -11,6 +11,8 @@ by their overall size in the data or by the bias in their representation").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import combinations
+from math import comb
 from typing import Iterable, Iterator, Mapping
 
 from repro.core.pattern import Pattern
@@ -71,14 +73,61 @@ class MostGeneralSet:
 def minimal_patterns(patterns: Iterable[Pattern]) -> frozenset[Pattern]:
     """The minimal elements of ``patterns`` under the subset (generality) order.
 
-    Shorter patterns are more general; processing patterns by increasing length means
-    a pattern only needs to be checked against already-accepted shorter patterns.
+    Candidates are grouped by length before any comparison: two distinct patterns of
+    the same length can never subsume each other, so each pattern only has to be
+    checked against the *strictly shorter* accepted ones.  That check enumerates the
+    pattern's sub-assignments of the accepted lengths and looks them up in a set —
+    ``O(sum_l C(|p|, l))`` per pattern — falling back to a linear scan over the
+    accepted antichain when the pattern is long enough that enumeration would lose.
+    This avoids the full pairwise scan on large result sets, whose candidates are
+    dominated by a few (typically long) lengths.
     """
+    by_length: dict[int, list[Pattern]] = {}
+    for pattern in set(patterns):
+        by_length.setdefault(len(pattern), []).append(pattern)
+
     accepted: list[Pattern] = []
-    for pattern in sorted(set(patterns), key=len):
-        if not any(member.is_subset_of(pattern) for member in accepted):
-            accepted.append(pattern)
+    accepted_items: set[tuple[tuple[str, object], ...]] = set()
+    accepted_lengths: list[int] = []
+    for length in sorted(by_length):
+        fresh = [
+            pattern
+            for pattern in by_length[length]
+            if not _has_accepted_subset(pattern, accepted, accepted_items, accepted_lengths)
+        ]
+        if fresh:
+            accepted.extend(fresh)
+            accepted_items.update(pattern.items_tuple for pattern in fresh)
+            accepted_lengths.append(length)
     return frozenset(accepted)
+
+
+def _has_accepted_subset(
+    pattern: Pattern,
+    accepted: list[Pattern],
+    accepted_items: set[tuple[tuple[str, object], ...]],
+    accepted_lengths: list[int],
+) -> bool:
+    """Whether some already-accepted (strictly shorter) pattern subsumes ``pattern``."""
+    n_accepted = len(accepted)
+    if n_accepted <= 8:
+        # Tiny antichains: a linear scan beats even computing the enumeration cost.
+        return any(member.is_subset_of(pattern) for member in accepted)
+    items = pattern.items_tuple
+    if accepted_lengths == [1]:
+        # The dominant case in practice: the accepted antichain consists of
+        # single-assignment patterns, so subsumption is a direct item probe.
+        return any((item,) in accepted_items for item in items)
+    enumerations = sum(comb(len(items), length) for length in accepted_lengths)
+    if enumerations <= n_accepted:
+        # ``items`` is name-sorted, so every combination is already in canonical
+        # order and can be probed directly against the accepted item-tuples.
+        for length in accepted_lengths:
+            for combo in combinations(items, length):
+                if combo in accepted_items:
+                    return True
+        return False
+    return any(member.is_subset_of(pattern) for member in accepted)
 
 
 @dataclass(frozen=True)

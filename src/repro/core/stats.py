@@ -25,6 +25,21 @@ class SearchStats:
     size_computations: int = 0
     #: Number of full top-down searches started (IterTD does one per k).
     full_searches: int = 0
+    #: Number of sibling blocks evaluated in one vectorised batch by the counting
+    #: engine (one ``np.bincount`` instead of one Python call per child).
+    batch_evaluations: int = 0
+    #: Counting-engine cache hits (pattern matches + sibling blocks).
+    cache_hits: int = 0
+    #: Counting-engine cache misses (pattern matches + sibling blocks).
+    cache_misses: int = 0
+    #: Entries evicted from the counting-engine caches (LRU policy).
+    cache_evictions: int = 0
+    #: Pattern matches stored densely (boolean mask + cumulative counts).
+    dense_masks: int = 0
+    #: Pattern matches stored sparsely (int32 rank-position arrays).
+    sparse_masks: int = 0
+    #: Dense→sparse representation switches along parent/child chains.
+    representation_switches: int = 0
     #: Wall-clock seconds, filled in by the experiment harness when timing runs.
     elapsed_seconds: float = 0.0
     #: Free-form counters for algorithm-specific events (e.g. k-tilde reschedules).
@@ -41,6 +56,13 @@ class SearchStats:
             nodes_evaluated=self.nodes_evaluated + other.nodes_evaluated,
             size_computations=self.size_computations + other.size_computations,
             full_searches=self.full_searches + other.full_searches,
+            batch_evaluations=self.batch_evaluations + other.batch_evaluations,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            cache_evictions=self.cache_evictions + other.cache_evictions,
+            dense_masks=self.dense_masks + other.dense_masks,
+            sparse_masks=self.sparse_masks + other.sparse_masks,
+            representation_switches=self.representation_switches + other.representation_switches,
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
             extra=dict(self.extra),
         )
@@ -55,6 +77,13 @@ class SearchStats:
             "nodes_evaluated": self.nodes_evaluated,
             "size_computations": self.size_computations,
             "full_searches": self.full_searches,
+            "batch_evaluations": self.batch_evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "dense_masks": self.dense_masks,
+            "sparse_masks": self.sparse_masks,
+            "representation_switches": self.representation_switches,
             "elapsed_seconds": self.elapsed_seconds,
         }
         flat.update(self.extra)

@@ -9,6 +9,11 @@ cannot be most general); all other nodes are *expanded* and their children enque
 The function returns the full classification (:class:`SearchState`) rather than just
 the most general patterns, because the optimized algorithms (GlobalBounds and
 PropBounds) resume their incremental searches from this state.
+
+Counting goes through the vectorized engine (:mod:`repro.core.engine`): expanding a
+node evaluates each attribute's children as one sibling block — a single batched
+size / top-k-count computation — instead of one Python-level mask per child, and
+repeated sweeps over a k range reuse cached prefix-count blocks.
 """
 
 from __future__ import annotations
@@ -71,28 +76,33 @@ def top_down_search(
     """
     stats = stats if stats is not None else SearchStats()
     stats.full_searches += 1
-    tree = counter.tree
     dataset_size = counter.dataset_size
     state = SearchState()
+    # Pattern-independent bounds are constant across one search; hoisting the
+    # lookup out of the per-node loop avoids re-resolving a step schedule for
+    # every evaluated child.
+    constant_lower = None if bound.pattern_dependent else bound.lower(k, 0, dataset_size)
 
-    roots = list(tree.children(EMPTY_PATTERN))
-    stats.nodes_generated += len(roots)
-    queue: deque[Pattern] = deque(roots)
-
+    # Level-order expansion over *parents*: popping a pattern evaluates all of its
+    # children, one vectorised sibling block per attribute.  Sizes and top-k counts
+    # of a whole block come from a single batched computation (or a cached
+    # prefix-count block on repeated sweeps); children pruned by the size threshold
+    # never materialise Pattern objects at all.
+    queue: deque[Pattern] = deque([EMPTY_PATTERN])
     while queue:
-        pattern = queue.popleft()
-        size = counter.size(pattern)
-        stats.size_computations += 1
-        if size < tau_s:
-            continue
-        state.sizes[pattern] = size
-        count = counter.top_k_count(pattern, k)
-        stats.nodes_evaluated += 1
-        if count < bound.lower(k, size, dataset_size):
-            state.below[pattern] = count
-        else:
-            state.expanded[pattern] = count
-            children = list(tree.children(pattern))
-            stats.nodes_generated += len(children)
-            queue.extend(children)
+        parent = queue.popleft()
+        for block in counter.child_blocks(parent, k):
+            stats.nodes_generated += block.n_children
+            stats.size_computations += block.n_children
+            for child, size, count in block.qualifying(tau_s):
+                state.sizes[child] = size
+                stats.nodes_evaluated += 1
+                lower = constant_lower if constant_lower is not None else bound.lower(
+                    k, size, dataset_size
+                )
+                if count < lower:
+                    state.below[child] = count
+                else:
+                    state.expanded[child] = count
+                    queue.append(child)
     return state

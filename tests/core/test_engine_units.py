@@ -1,0 +1,201 @@
+"""Unit tests for the vectorized counting engine building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine.blocks import EngineBlock
+from repro.core.engine.cache import LRUCache
+from repro.core.engine.counting import CountingEngine
+from repro.core.engine.masks import DenseMatch, SparseMatch, make_match
+from repro.core.engine.naive import NaiveCounter
+from repro.core.pattern import EMPTY_PATTERN, Pattern
+from repro.core.result_set import minimal_patterns
+from repro.data.generators.toy import students_toy
+from repro.ranking.workloads import toy_ranker
+
+
+@pytest.fixture()
+def toy_engine():
+    dataset = students_toy()
+    ranking = toy_ranker().rank(dataset)
+    return dataset, ranking, CountingEngine(dataset, ranking)
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache: LRUCache[str, int] = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_does_not_stop_caching_when_full(self):
+        """Unlike the seed's mask cache, new entries keep landing after the cap."""
+        cache: LRUCache[int, int] = LRUCache(3)
+        for index in range(10):
+            cache.put(index, index)
+        assert len(cache) == 3
+        assert set(cache) == {7, 8, 9}
+        assert cache.evictions == 7
+
+    def test_peek_does_not_touch_recency_or_counters(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        assert cache.hits == 0 and cache.misses == 0
+        cache.put("c", 3)  # "a" was not refreshed by peek, so it is evicted
+        assert "a" not in cache
+
+    def test_zero_capacity_never_stores(self):
+        cache: LRUCache[str, int] = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+
+    def test_clear_keeps_counters(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestMatchRepresentations:
+    def test_make_match_picks_representation_by_selectivity(self):
+        dense = make_match(np.arange(50, dtype=np.int32), 100, sparse_threshold=0.25)
+        sparse = make_match(np.arange(10, dtype=np.int32), 100, sparse_threshold=0.25)
+        assert isinstance(dense, DenseMatch) and dense.is_dense
+        assert isinstance(sparse, SparseMatch) and not sparse.is_dense
+
+    @pytest.mark.parametrize("positions", [[], [0], [3, 7, 9], list(range(20))])
+    def test_dense_and_sparse_agree(self, positions):
+        n_rows = 20
+        positions = np.asarray(positions, dtype=np.int32)
+        dense = make_match(positions, n_rows, sparse_threshold=0.0)
+        sparse = make_match(positions, n_rows, sparse_threshold=2.0)
+        assert isinstance(dense, DenseMatch)
+        assert isinstance(sparse, SparseMatch)
+        assert dense.size == sparse.size == positions.size
+        for k in range(n_rows + 1):
+            assert dense.top_k_count(k) == sparse.top_k_count(k)
+        ks = np.arange(n_rows + 1)
+        assert np.array_equal(dense.top_k_counts(ks), sparse.top_k_counts(ks))
+        for position in range(n_rows):
+            assert dense.contains_position(position) == sparse.contains_position(position)
+        assert np.array_equal(dense.positions(), sparse.positions())
+
+    def test_sparse_boolean_mask_round_trip(self):
+        sparse = SparseMatch(np.asarray([1, 4, 5], dtype=np.int32))
+        mask = sparse.boolean_mask(8)
+        assert mask.tolist() == [False, True, False, False, True, True, False, False]
+
+
+class TestCSRBlock:
+    def test_qualifying_skips_small_children(self, toy_engine):
+        _, _, engine = toy_engine
+        block = engine.child_block(EMPTY_PATTERN, 0, k=5)
+        survivors = list(block.qualifying(tau_s=8))
+        assert {pattern.describe() for pattern, _, _ in survivors} == {"Gender=F", "Gender=M"}
+        assert all(size >= 8 for _, size, _ in survivors)
+        assert list(block.qualifying(tau_s=9)) == []
+
+    def test_cached_block_counts_match_fresh_counts(self, toy_engine):
+        _, _, engine = toy_engine
+        fresh = engine.child_block(EMPTY_PATTERN, 1, k=5)
+        cached = engine.child_block(EMPTY_PATTERN, 1, k=7)  # same block, different k
+        assert isinstance(cached, EngineBlock)
+        assert cached.entry is fresh.entry  # served from the block cache
+        for index in range(fresh.n_children):
+            assert fresh.count_for(index) == fresh.positions_for(index).searchsorted(5)
+            assert cached.count_for(index) == cached.positions_for(index).searchsorted(7)
+        assert engine.block_reuses == 1
+
+
+class TestCountingEngine:
+    def test_counters_move(self, toy_engine):
+        _, _, engine = toy_engine
+        list(engine.child_blocks(EMPTY_PATTERN, k=4))
+        snapshot = engine.snapshot()
+        assert snapshot["batch_evaluations"] == 4  # one per attribute
+        assert snapshot["cache_misses"] > 0
+
+    def test_row_satisfies_matches_mask(self, toy_engine):
+        dataset, _, engine = toy_engine
+        pattern = Pattern({"Gender": "F", "School": "GP"})
+        mask = engine.boolean_mask(pattern)
+        for rank in range(1, dataset.n_rows + 1):
+            assert engine.row_satisfies(rank, pattern) == bool(mask[rank - 1])
+
+    def test_eviction_does_not_change_answers(self):
+        dataset = students_toy()
+        ranking = toy_ranker().rank(dataset)
+        tiny = CountingEngine(dataset, ranking, max_cached_patterns=2, max_cached_blocks=2)
+        reference = NaiveCounter(dataset, ranking)
+        patterns = [
+            Pattern({"Gender": "F"}),
+            Pattern({"School": "GP"}),
+            Pattern({"Gender": "F", "School": "GP"}),
+            Pattern({"Address": "U", "Failures": 1}),
+            Pattern({"Gender": "M", "Address": "R"}),
+        ]
+        for _ in range(2):  # second pass exercises recomputation after eviction
+            for pattern in patterns:
+                assert tiny.size(pattern) == reference.size(pattern)
+                for k in (1, 5, dataset.n_rows):
+                    assert tiny.top_k_count(pattern, k) == reference.top_k_count(pattern, k)
+        assert tiny.snapshot()["cache_evictions"] > 0
+
+    def test_mismatched_dataset_rejected(self, toy_engine):
+        from repro.data.dataset import Dataset
+        from repro.ranking.base import PrecomputedRanker
+
+        dataset, _, _ = toy_engine
+        other = Dataset.from_columns({"x": ["a", "b"]}, numeric={"s": [1.0, 2.0]})
+        other_ranking = PrecomputedRanker(score_column="s").rank(other)
+        with pytest.raises(ValueError):
+            CountingEngine(dataset, other_ranking)
+
+
+class TestMinimalPatternsGrouping:
+    def _reference(self, patterns):
+        accepted = []
+        for pattern in sorted(set(patterns), key=len):
+            if not any(member.is_subset_of(pattern) for member in accepted):
+                accepted.append(pattern)
+        return frozenset(accepted)
+
+    def test_randomized_equivalence_with_pairwise_reference(self):
+        rng = np.random.default_rng(7)
+        names = ["A", "B", "C", "D", "E"]
+        for _ in range(25):
+            patterns = []
+            for _ in range(rng.integers(0, 40)):
+                width = int(rng.integers(1, len(names) + 1))
+                chosen = rng.choice(len(names), size=width, replace=False)
+                patterns.append(
+                    Pattern({names[i]: int(rng.integers(0, 3)) for i in chosen})
+                )
+            assert minimal_patterns(patterns) == self._reference(patterns)
+
+    def test_empty_pattern_subsumes_everything(self):
+        patterns = [EMPTY_PATTERN, Pattern({"A": 1}), Pattern({"A": 1, "B": 2})]
+        assert minimal_patterns(patterns) == frozenset({EMPTY_PATTERN})
+
+    def test_equal_length_antichain_kept_whole(self):
+        patterns = [Pattern({"A": 1}), Pattern({"A": 2}), Pattern({"B": 1})]
+        assert minimal_patterns(patterns) == frozenset(patterns)

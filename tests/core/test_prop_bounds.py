@@ -97,3 +97,38 @@ class TestResultShape:
                 size = counter.size(pattern)
                 assert size >= 5
                 assert counter.top_k_count(pattern, k) < alpha * size * k / n
+
+
+class TestTouchedSetSnapshot:
+    def test_no_double_bump_when_step_bound_demotes_touched_pattern(self):
+        """Regression test: the touched sets of one incremental step are snapshotted.
+
+        With a step-function bound, an expanded pattern satisfied by the new tuple
+        can be demoted to below in step 1a (the bound stepped up faster than its
+        count).  It must then *not* be bumped a second time for the same tuple in
+        step 1b, which would silently re-promote it with an inflated count and lose
+        it from every later result set.
+        """
+        import numpy as np
+
+        from repro.core.bounds import step_lower_bounds
+        from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+        from repro.ranking.base import PrecomputedRanker
+
+        rng = np.random.default_rng(11)
+        spec = SyntheticSpec(
+            n_rows=40,
+            cardinalities=[2, 3],
+            score_weights=rng.uniform(-1.5, 1.5, size=2).tolist(),
+            noise=0.4,
+            seed=11,
+        )
+        dataset = synthetic_dataset(spec)
+        ranking = PrecomputedRanker(score_column="score").rank(dataset)
+        bound = GlobalBoundSpec(lower_bounds=step_lower_bounds({1: 1.0, 8: 3.0, 20: 5.0}))
+        counter = PatternCounter(dataset, ranking)
+        expected = brute_force_detection(dataset, counter, bound, 4, 2, 39)
+        report = PropBoundsDetector(bound=bound, tau_s=4, k_min=2, k_max=39).detect(
+            dataset, ranking
+        )
+        assert report.result == expected
