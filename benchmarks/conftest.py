@@ -14,6 +14,16 @@ absolute runtimes therefore differ from the paper's testbed, but the comparisons
 
 from __future__ import annotations
 
+import os
+
+# Pin BLAS/OpenMP pools before anything imports NumPy (OpenBLAS reads these at
+# library load): the bench_smoke ratios must run single-threaded, and setting
+# the variables in the bench modules alone would be too late under pytest —
+# this conftest (and its repro imports below) load first.
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
 import pytest
 
 from repro.experiments.workloads import (

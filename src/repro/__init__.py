@@ -16,6 +16,7 @@ The most common entry points are re-exported here.
 from repro.core import (
     DetectionReport,
     DetectionResult,
+    ExecutionConfig,
     GlobalBoundsDetector,
     GlobalBoundSpec,
     IterTDDetector,
@@ -44,6 +45,7 @@ __all__ = [
     "IterTDDetector",
     "GlobalBoundsDetector",
     "PropBoundsDetector",
+    "ExecutionConfig",
     "DetectionReport",
     "DetectionResult",
     "detect_biased_groups",

@@ -18,6 +18,7 @@ from repro.core.bounds import (
 from repro.core.brute_force import brute_force_detection, enumerate_patterns
 from repro.core.detector import DetectionParameters, DetectionReport, Detector
 from repro.core.engine import CountingEngine, NaiveCounter
+from repro.core.engine.parallel import ExecutionConfig, ParallelSearchExecutor
 from repro.core.global_bounds import GlobalBoundsDetector
 from repro.core.iter_td import IterTDDetector
 from repro.core.pattern import EMPTY_PATTERN, Pattern
@@ -51,11 +52,14 @@ def detect_biased_groups(
     k_min: int,
     k_max: int,
     algorithm: str = "auto",
+    execution: ExecutionConfig | None = None,
 ) -> DetectionReport:
     """Detect the most general groups with biased (under-)representation.
 
     ``algorithm`` may be ``"auto"`` (GlobalBounds for pattern-independent bounds,
     PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or ``"prop_bounds"``.
+    ``execution`` carries the engine tunables and parallelism knobs (e.g.
+    ``ExecutionConfig(workers=4)`` shards full searches over four processes).
     """
     if algorithm == "auto":
         algorithm = "prop_bounds" if bound.pattern_dependent else "global_bounds"
@@ -70,7 +74,9 @@ def detect_biased_groups(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {sorted(detectors)} or 'auto'"
         ) from None
-    detector = detector_class(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max)
+    detector = detector_class(
+        bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max, execution=execution
+    )
     return detector.detect(dataset, ranking)
 
 
@@ -86,6 +92,8 @@ __all__ = [
     "PatternCounter",
     "CountingEngine",
     "NaiveCounter",
+    "ExecutionConfig",
+    "ParallelSearchExecutor",
     "SearchTree",
     "SearchState",
     "top_down_search",

@@ -11,30 +11,52 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.bounds import BoundSpec
+from repro.core.engine.parallel import ExecutionConfig, create_parallel_executor
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.result_set import DetectedGroup, DetectionResult
 from repro.core.stats import SearchStats
+from repro.core.top_down import SearchState, top_down_search
 from repro.data.dataset import Dataset
 from repro.exceptions import DetectionError
 from repro.ranking.base import Ranker, Ranking
 
+#: Signature of the search strategy handed to :meth:`Detector._run`: one full
+#: Algorithm-1 search — ``search(bound, k, tau_s, stats, classification=True)`` —
+#: executed either in-process (:func:`~repro.core.top_down.top_down_search`) or by
+#: the sharded parallel executor, transparently to the algorithms.  Callers that
+#: only consume ``most_general()`` of the returned state (not the resumable
+#: classification) pass ``classification=False`` so the parallel path can skip
+#: shipping full shard states between processes.
+SearchFn = Callable[..., SearchState]
+
 
 @dataclass(frozen=True)
 class DetectionParameters:
-    """The problem parameters shared by every detection algorithm."""
+    """The problem parameters shared by every detection algorithm.
+
+    ``execution`` carries the engine tunables and the parallelism knobs
+    (:class:`~repro.core.engine.parallel.ExecutionConfig`); the default runs the
+    classic single-process path with the documented engine defaults.  ``None``
+    is accepted and normalised to the default, so detector constructors can
+    simply pass their optional ``execution`` argument through.
+    """
 
     bound: BoundSpec
     tau_s: int
     k_min: int
     k_max: int
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
+        if self.execution is None:
+            object.__setattr__(self, "execution", ExecutionConfig())
         if self.tau_s < 1:
             raise DetectionError("the size threshold tau_s must be at least 1")
         if self.k_min < 1:
@@ -129,12 +151,27 @@ class Detector(abc.ABC):
     #: Human-readable algorithm name, set by subclasses.
     name: str = "detector"
 
+    #: Whether :meth:`_run` routes work through the ``search`` strategy.  Set to
+    #: ``False`` by subclasses that never run full top-down searches (e.g. the
+    #: upper-bound detector), so :meth:`detect` does not pay for spawning a
+    #: parallel executor that would receive zero tasks.
+    uses_search: bool = True
+
     def __init__(self, parameters: DetectionParameters) -> None:
         self.parameters = parameters
 
     @abc.abstractmethod
-    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
-        """Compute the per-k most general biased patterns."""
+    def _run(
+        self, counter: PatternCounter, stats: SearchStats, search: SearchFn
+    ) -> dict[int, frozenset[Pattern]]:
+        """Compute the per-k most general biased patterns.
+
+        ``search`` runs one full top-down search for a given (bound, k, tau_s) —
+        in-process or fanned out over the parallel executor, depending on the
+        :class:`~repro.core.engine.parallel.ExecutionConfig` in force.  Algorithms
+        must route every full search through it (their *incremental* per-k steps
+        operate on the returned state in the calling process).
+        """
 
     def detect(
         self,
@@ -147,13 +184,18 @@ class Detector(abc.ABC):
         ``counter`` may be supplied to reuse a warm counting engine or to route the
         run through an alternative counter implementation (e.g. the naive
         per-pattern reference path in :mod:`repro.core.engine.naive`); by default a
-        fresh engine-backed :class:`PatternCounter` is built.
+        fresh engine-backed :class:`PatternCounter` is built with the cache
+        capacities and sparse threshold of the execution config.  When the config
+        asks for more than one worker, full searches are sharded over a process
+        pool attached to the dataset through shared memory; the per-k result sets
+        are bit-identical either way.
         """
         self.parameters.validate_for(dataset)
+        execution = self.parameters.execution
         if isinstance(ranking, Ranker):
             ranking = ranking.rank(dataset)
         if counter is None:
-            counter = PatternCounter(dataset, ranking)
+            counter = PatternCounter(dataset, ranking, **execution.counter_options())
         else:
             if counter.dataset is not dataset and counter.dataset != dataset:
                 raise DetectionError("the supplied counter was built over a different dataset")
@@ -167,9 +209,31 @@ class Detector(abc.ABC):
         snapshot = getattr(counter, "stats_snapshot", None)
         baseline = snapshot() if snapshot is not None else None
         stats = SearchStats()
+        # Worker startup (shared-memory publication, process spawn) is part of
+        # what a parallel run costs, so the clock starts before it.
         started = time.perf_counter()
-        per_k = self._run(counter, stats)
-        stats.elapsed_seconds = time.perf_counter() - started
+        executor = None
+        if self.uses_search and execution.resolved_workers() > 1:
+            executor = create_parallel_executor(counter, execution)
+            if executor is None:
+                # Restricted platform (or non-engine counter): record the fallback
+                # and run the unchanged serial path.
+                stats.bump("parallel_fallback")
+        try:
+            if executor is not None:
+                search: SearchFn = executor.search
+            else:
+
+                def search(bound, k, tau_s, run_stats, classification=True):
+                    # The in-process search always has the full state at hand;
+                    # `classification` only matters across process boundaries.
+                    return top_down_search(counter, bound, k, tau_s, run_stats)
+
+            per_k = self._run(counter, stats, search)
+            stats.elapsed_seconds = time.perf_counter() - started
+        finally:
+            if executor is not None:
+                executor.close()
         publish = getattr(counter, "publish_stats", None)
         if publish is not None:
             publish(stats, since=baseline)

@@ -20,6 +20,14 @@ engine built on three pillars:
 :class:`~repro.core.engine.naive.NaiveCounter` preserves the seed per-pattern path
 as a reference oracle for parity tests and as the baseline the throughput benchmark
 measures the engine against.
+
+On top of the counting engine sits the **parallel search executor**
+(:mod:`~repro.core.engine.parallel`): the dataset's rank-ordered codes matrix is
+published once through shared memory (:mod:`~repro.core.engine.shared`), the
+disjoint first-level subtrees of the search tree are balanced into work units
+(:mod:`~repro.core.engine.sharding`), and dedicated worker processes — each with
+its own warm engine attached zero-copy to the shared matrix — expand them with
+the unchanged serial loop.
 """
 
 from __future__ import annotations
@@ -34,7 +42,24 @@ from repro.core.engine.masks import (
     make_match,
 )
 from repro.core.engine.naive import NaiveCounter
+from repro.core.engine.shared import (
+    SharedDatasetHandle,
+    SharedDatasetView,
+    shared_memory_available,
+)
+from repro.core.engine.sharding import estimate_subtree_weight, partition_weighted
 from repro.core.engine.tree import SearchTree
+
+# parallel must come after the submodules above: it imports
+# repro.core.top_down, which re-enters this (then partially initialised)
+# package through repro.core.pattern_graph's engine imports — those resolve
+# because they target already-imported submodules directly.
+from repro.core.engine.parallel import (
+    ExecutionConfig,
+    ParallelSearchExecutor,
+    create_parallel_executor,
+)
+
 
 __all__ = [
     "CountingEngine",
@@ -47,6 +72,14 @@ __all__ = [
     "DenseMatch",
     "SparseMatch",
     "make_match",
+    "SharedDatasetHandle",
+    "SharedDatasetView",
+    "shared_memory_available",
+    "estimate_subtree_weight",
+    "partition_weighted",
+    "ExecutionConfig",
+    "ParallelSearchExecutor",
+    "create_parallel_executor",
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_SPARSE_THRESHOLD",
 ]

@@ -54,15 +54,38 @@ class CountingEngine:
         max_cached_patterns: int = DEFAULT_CACHE_CAPACITY,
         max_cached_blocks: int | None = None,
         sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD,
+        ranked_codes: np.ndarray | None = None,
     ) -> None:
         if ranking.dataset is not dataset and ranking.dataset != dataset:
             raise ValueError("the ranking was computed over a different dataset")
         self._dataset = dataset
         self._ranking = ranking
         self._schema = dataset.schema
-        # Column-major layout: sibling-batch evaluation gathers one column at a
-        # time, so contiguous columns make the hot gather cache-friendly.
-        self._ranked_codes = np.asfortranarray(dataset.codes[ranking.order])
+        if ranked_codes is None:
+            # Column-major layout: sibling-batch evaluation gathers one column at a
+            # time, so contiguous columns make the hot gather cache-friendly.
+            ranked_codes = np.asfortranarray(dataset.codes[ranking.order])
+        else:
+            if ranked_codes.shape != dataset.codes.shape:
+                raise ValueError(
+                    f"ranked_codes has shape {ranked_codes.shape} but the dataset's codes "
+                    f"matrix has shape {dataset.codes.shape}"
+                )
+            # The whole point of the argument is to skip the O(rows x attrs)
+            # gather, so only spot-check the claimed rank order: a handful of
+            # sampled rows compared against the true gather catches swapped or
+            # unranked matrices without touching every row.
+            n_rows = ranked_codes.shape[0]
+            if n_rows:
+                sample = np.unique(np.linspace(0, n_rows - 1, num=min(16, n_rows), dtype=np.intp))
+                if not np.array_equal(
+                    ranked_codes[sample], dataset.codes[ranking.order[sample]]
+                ):
+                    raise ValueError(
+                        "ranked_codes does not match dataset.codes reordered by the "
+                        "ranking (spot-check failed)"
+                    )
+        self._ranked_codes = ranked_codes
         self._n_rows = dataset.n_rows
         self._sparse_threshold = float(sparse_threshold)
         self._tree = SearchTree(dataset)
@@ -101,6 +124,16 @@ class CountingEngine:
     @property
     def sparse_threshold(self) -> float:
         return self._sparse_threshold
+
+    @property
+    def ranked_codes(self) -> np.ndarray:
+        """The dataset's codes matrix in rank order (column-major ``int32``).
+
+        The parallel executor publishes this array through shared memory so worker
+        engines can attach to it zero-copy (passing it back in via the
+        ``ranked_codes`` constructor argument instead of re-gathering).
+        """
+        return self._ranked_codes
 
     # -- match computation ------------------------------------------------------
     def match(self, pattern: Pattern) -> DenseMatch | SparseMatch:

@@ -1,0 +1,474 @@
+"""Process-parallel sharded execution of the top-down lattice search.
+
+The paper's search tree (Definition 4.1) makes the subtrees below the
+single-attribute patterns pairwise disjoint, so one top-down search splits into
+independent pieces with no coordination beyond a final dictionary union.  This
+module exploits that:
+
+1. The coordinator classifies the *root level* (children of the empty pattern)
+   itself — one cheap sibling-block pass — and collects the expanded
+   single-attribute roots.
+2. :mod:`~repro.core.engine.sharding` balances the tau_s-surviving root children
+   into one shard per worker by estimated subtree weight.  Root sizes do not
+   depend on ``k``, so the assignment is computed once per run and every root
+   pattern has a *home worker* for the run's lifetime.
+3. Worker processes — each primed via a zero-copy
+   :mod:`~repro.core.engine.shared` attachment of the ranked codes matrix and fed
+   through its own task queue, so a shard never migrates between workers — drain
+   their subtrees with the *unmodified* serial loop
+   (:func:`repro.core.top_down.run_search`) on their own counting engines.
+   Shard→worker affinity is what keeps the k-sweep fast path alive under
+   parallelism: a worker re-counts exactly the sibling blocks it cached on the
+   previous k, instead of rebuilding another worker's working set.
+4. Shard states are unioned with :meth:`SearchState.merge`; most-general
+   minimality is computed after the merge, so the classification — and therefore
+   every detector's per-k result set — is bit-identical to a serial run.
+
+Bound specifications travel to workers by pickle; callable bound schedules must
+therefore be picklable (module-level functions, not lambdas) when ``workers > 1``.
+
+Serial execution (``workers == 1``) never touches this module's machinery: no
+worker process is spawned and no shared-memory segment is created — see
+:func:`create_parallel_executor` and the guard tests in
+``tests/core/test_parallel_search.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine.counting import DEFAULT_CACHE_CAPACITY
+from repro.core.engine.masks import DEFAULT_SPARSE_THRESHOLD
+from repro.core.engine.shared import SharedDatasetHandle, SharedDatasetView, shared_memory_available
+from repro.core.engine.sharding import estimate_subtree_weight, partition_weighted
+from repro.core.pattern import EMPTY_PATTERN, Pattern
+from repro.core.stats import SearchStats
+from repro.exceptions import DetectionError
+
+_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Engine tunables and parallelism knobs, threaded through the detector API.
+
+    Attributes
+    ----------
+    workers:
+        Number of search processes.  ``1`` (the default) runs fully in-process
+        with zero parallel overhead; ``0`` means "one per available CPU".  Values
+        above 1 enable the sharded parallel executor (falling back to serial when
+        the platform lacks shared memory).
+    match_cache_capacity:
+        Maximum number of cached pattern matches in each counting engine
+        (default :data:`~repro.core.engine.counting.DEFAULT_CACHE_CAPACITY`,
+        250 000 — beyond it the least recently used entries are evicted).
+    block_cache_capacity:
+        Maximum number of cached sibling blocks; ``None`` (default) mirrors
+        ``match_cache_capacity``.
+    sparse_threshold:
+        Selectivity below which a cached match switches from a dense boolean mask
+        to an ``int32`` position array (default
+        :data:`~repro.core.engine.masks.DEFAULT_SPARSE_THRESHOLD`, 0.25).
+    start_method:
+        Multiprocessing start method for the worker processes; ``None`` picks
+        ``fork`` where available (cheapest) and ``spawn`` otherwise.
+    """
+
+    workers: int = 1
+    match_cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    block_cache_capacity: int | None = None
+    sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise DetectionError("workers must be >= 1, or 0 for one per CPU")
+        if self.match_cache_capacity < 0:
+            raise DetectionError("match_cache_capacity must be non-negative")
+        if self.block_cache_capacity is not None and self.block_cache_capacity < 0:
+            raise DetectionError("block_cache_capacity must be non-negative")
+        if self.sparse_threshold < 0:
+            raise DetectionError("sparse_threshold must be non-negative")
+        if self.start_method not in _START_METHODS:
+            raise DetectionError(
+                f"start_method must be one of {_START_METHODS[1:]} or None"
+            )
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``0`` resolves to the CPU count)."""
+        if self.workers >= 1:
+            return self.workers
+        return max(1, os.cpu_count() or 1)
+
+    def resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        available = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in available else "spawn"
+
+    def counter_options(self) -> dict[str, object]:
+        """Keyword arguments for :class:`~repro.core.pattern_graph.PatternCounter`."""
+        return {
+            "max_cached_masks": self.match_cache_capacity,
+            "max_cached_blocks": self.block_cache_capacity,
+            "sparse_threshold": self.sparse_threshold,
+        }
+
+
+def _build_worker_counter(handle: SharedDatasetHandle, config: ExecutionConfig):
+    """Attach the shared dataset and build one worker's counting engine.
+
+    The engine is built directly over the shared rank-ordered codes matrix
+    (identity ranking), so no row of the dataset is copied into the worker.
+    Returns ``(view, counter)``; the view must stay alive as long as the counter.
+    """
+    from repro.core.pattern_graph import PatternCounter
+    from repro.data.dataset import Dataset
+    from repro.ranking.base import Ranking
+
+    # Worker processes share the owner's resource tracker on every POSIX start
+    # method (the tracker fd is inherited by fork and passed through the spawn
+    # launcher alike), so the attach-time re-registration is idempotent and the
+    # owner's unlink is the single point of cleanup — no untracking here.
+    view = handle.attach()
+    # Going through the public Dataset/Ranking constructors re-validates the
+    # shared matrix (one vectorised min/max scan per column) and the identity
+    # permutation (one sort) — a deliberate one-time cost per worker, tens of
+    # milliseconds even at 10^6 rows, that catches a torn or mis-published
+    # segment before it can corrupt every count this worker ever returns.
+    dataset = Dataset(handle.schema, view.ranked_codes)
+    ranking = Ranking(dataset, np.arange(handle.n_rows, dtype=np.intp))
+    counter = PatternCounter(
+        dataset, ranking, ranked_codes=view.ranked_codes, **config.counter_options()
+    )
+    return view, counter
+
+
+def _run_shard(counter, roots: list[Pattern], bound, k: int, tau_s: int, classification: bool):
+    """Expand the subtrees of ``roots`` on ``counter`` and return the shard state.
+
+    Returns ``(state, stats, engine_delta)`` where ``engine_delta`` is the change
+    in the worker engine's counters during this shard (the coordinator aggregates
+    them under ``worker_*`` keys on the run's :class:`SearchStats`).
+
+    With ``classification=False`` the caller only needs the most general
+    below-bound patterns, so the shard's ``below`` map is pre-filtered to its
+    minimal elements and ``expanded``/``sizes`` are dropped before pickling.
+    The filter is sound — a globally minimal pattern has no more-general
+    below-bound ancestor anywhere, in particular not in its own shard — and it
+    shrinks the IPC payload from the full lattice classification (potentially
+    millions of entries per search of a k-sweep) to roughly the result-set size,
+    while also computing the per-shard minimality in parallel.
+    """
+    from repro.core.result_set import minimal_patterns
+    from repro.core.top_down import SearchState, run_search
+
+    before = counter.stats_snapshot()
+    state = SearchState()
+    stats = SearchStats()
+    run_search(counter, bound, k, tau_s, state, stats, deque(roots))
+    after = counter.stats_snapshot()
+    delta = {name: after[name] - before.get(name, 0) for name in after}
+    if not classification:
+        minimal = minimal_patterns(state.below)
+        state = SearchState(below={pattern: state.below[pattern] for pattern in minimal})
+    return state, stats, delta
+
+
+def _worker_main(
+    handle: SharedDatasetHandle,
+    config: ExecutionConfig,
+    task_queue,
+    result_queue,
+) -> None:
+    """Entry point of one dedicated shard worker.
+
+    Announces readiness (or an initialisation error), then serves
+    ``(epoch, shard_index, roots, bound, k, tau_s, classification)`` tuples from
+    its private queue until the ``None`` sentinel arrives.  Having one queue per
+    worker — as opposed to one shared pool queue — pins every shard to its home
+    worker, which keeps that worker's block/match caches warm across an entire k
+    sweep.  The epoch (the executor's search counter) and the shard index are
+    echoed back with every result, so the coordinator can discard stragglers of
+    an aborted earlier search and track which shards are still outstanding.
+    """
+    try:
+        view, counter = _build_worker_counter(handle, config)
+    except BaseException as exc:  # pragma: no cover - init failures are surfaced
+        result_queue.put(("init_error", None, None, repr(exc)))
+        return
+    result_queue.put(("ready", None, None, None))
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            epoch, shard_index, roots, bound, k, tau_s, classification = task
+            try:
+                result = _run_shard(counter, roots, bound, k, tau_s, classification)
+                result_queue.put(("ok", epoch, shard_index, result))
+            except BaseException:
+                import traceback
+
+                result_queue.put(("error", epoch, shard_index, traceback.format_exc()))
+    finally:
+        view.close()
+
+
+class ParallelSearchExecutor:
+    """Fans top-down searches out over dedicated, cache-affine worker processes.
+
+    One executor serves one detection run: the detectors call :meth:`search`
+    wherever the serial path would call
+    :func:`~repro.core.top_down.top_down_search` (IterTD once per k, the
+    incremental detectors at ``k_min`` and on bound steps), and the incremental
+    per-k bookkeeping stays in the coordinator on the merged state.
+    """
+
+    #: Seconds between liveness checks while waiting on shard results.
+    _POLL_SECONDS = 1.0
+
+    def __init__(self, counter, config: ExecutionConfig) -> None:
+        engine = counter.engine
+        self._counter = counter
+        self._config = config
+        self._workers = config.resolved_workers()
+        self._closed = False
+        # Monotone search counter: tasks and results carry it so that results of
+        # a search that failed mid-collection (leaving stragglers in the shared
+        # queue) can never be merged into a later search.
+        self._epoch = 0
+        # Home-shard assignment of the root patterns; built per tau_s (root sizes
+        # are k-independent, so one detection run builds it exactly once).
+        self._assignment: dict[Pattern, int] | None = None
+        self._assignment_tau: int | None = None
+        self._view = SharedDatasetView.publish(
+            engine.ranked_codes,
+            np.ascontiguousarray(counter.ranking.order),
+            counter.dataset.schema,
+        )
+        self._processes: list = []
+        self._task_queues: list = []
+        try:
+            context = multiprocessing.get_context(config.resolved_start_method())
+            self._result_queue = context.Queue()
+            handle = self._view.handle()
+            for _ in range(self._workers):
+                task_queue = context.Queue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(handle, config, task_queue, self._result_queue),
+                    daemon=True,
+                )
+                process.start()
+                self._task_queues.append(task_queue)
+                self._processes.append(process)
+            for _ in range(self._workers):
+                kind, _, payload = self._collect_message(None, None)
+                if kind != "ready":
+                    raise DetectionError(f"parallel search worker failed to start: {payload}")
+        except BaseException:
+            self._shutdown()
+            raise
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    # -- sharding ----------------------------------------------------------------
+    def _shard_assignment(self, k: int, tau_s: int) -> dict[Pattern, int]:
+        """Home worker of every tau_s-surviving root pattern (stable across k).
+
+        Built from one root-level sibling-block pass: the survivors' sizes — and
+        therefore their :func:`estimate_subtree_weight` — do not depend on ``k``,
+        so the LPT partition is computed once and each root subtree stays on the
+        same worker for the whole run, no matter which subset of roots is
+        expanded at a particular k.
+        """
+        if self._assignment is None or self._assignment_tau != tau_s:
+            counter = self._counter
+            n_attributes = counter.dataset.n_attributes
+            roots: list[Pattern] = []
+            weights: list[int] = []
+            for attribute_index, block in enumerate(counter.child_blocks(EMPTY_PATTERN, k)):
+                for pattern, size, _ in block.entry.survivors_for(tau_s):
+                    roots.append(pattern)
+                    weights.append(
+                        estimate_subtree_weight(size, attribute_index, n_attributes)
+                    )
+            shards = partition_weighted(weights, self._workers)
+            assignment: dict[Pattern, int] = {}
+            for shard_index, shard in enumerate(shards):
+                for root_index in shard:
+                    assignment[roots[root_index]] = shard_index
+            self._assignment = assignment
+            self._assignment_tau = tau_s
+        return self._assignment
+
+    # -- searching ---------------------------------------------------------------
+    def search(
+        self,
+        bound,
+        k: int,
+        tau_s: int,
+        stats: SearchStats | None = None,
+        classification: bool = True,
+    ):
+        """Run one parallel Algorithm-1 search; bit-identical to the serial result.
+
+        ``classification=True`` merges the complete shard states, so the returned
+        :class:`SearchState` equals the serial one entry for entry (the
+        incremental detectors resume from it).  ``classification=False`` is the
+        sweep fast path for callers that only consume
+        :meth:`SearchState.most_general` (IterTD): shards return their minimal
+        below-bound patterns only, which leaves ``most_general()`` — and hence the
+        result sets — unchanged while cutting the per-k IPC volume by orders of
+        magnitude.
+        """
+        from repro.core.top_down import (
+            SearchState,
+            constant_lower_bound,
+            expand_parent,
+        )
+
+        if self._closed:
+            raise DetectionError("the parallel search executor has been closed")
+        stats = stats if stats is not None else SearchStats()
+        stats.full_searches += 1
+        counter = self._counter
+        dataset_size = counter.dataset_size
+        state = SearchState()
+        constant_lower = constant_lower_bound(bound, k, dataset_size)
+        expanded_roots: list[Pattern] = []
+        # Root pass in the coordinator: one sibling block per attribute.  Root
+        # classification lands in `state` exactly as in the serial loop; only the
+        # *expanded* roots (whose subtrees remain unexplored) are fanned out.
+        expand_parent(
+            counter, bound, k, tau_s, dataset_size, state, stats,
+            EMPTY_PATTERN, constant_lower, expanded_roots.append,
+        )
+        if not expanded_roots:
+            return state
+        assignment = self._shard_assignment(k, tau_s)
+        shard_roots: dict[int, list[Pattern]] = {}
+        for root in expanded_roots:
+            shard_roots.setdefault(assignment[root], []).append(root)
+        self._epoch += 1
+        for shard_index, roots in shard_roots.items():
+            self._task_queues[shard_index].put(
+                (self._epoch, shard_index, roots, bound, k, tau_s, classification)
+            )
+        stats.bump("parallel_searches")
+        stats.bump("parallel_shards", len(shard_roots))
+        pending = set(shard_roots)
+        while pending:
+            kind, shard_index, payload = self._collect_message(self._epoch, pending)
+            if kind != "ok":
+                raise DetectionError(f"parallel search shard failed:\n{payload}")
+            pending.discard(shard_index)
+            shard_state, shard_stats, engine_delta = payload
+            state.merge(shard_state)
+            stats.absorb(shard_stats)
+            for name, value in engine_delta.items():
+                if value:
+                    stats.bump(f"worker_{name}", value)
+        return state
+
+    def _collect_message(self, epoch: int | None, pending: set[int] | None):
+        """One current-epoch message off the result queue, failing fast on death.
+
+        Messages tagged with an older epoch are stragglers of a search that was
+        aborted mid-collection (a shard failure raises before the remaining
+        shard results arrive); they are discarded instead of being merged into
+        the wrong search.  Liveness is only checked for the workers in
+        ``pending`` (the ones this wait actually depends on) — a worker that
+        died while idle must not abort a search it plays no part in.  ``None``
+        means "all workers" (the startup handshake waits on every process).
+        """
+        watched = (
+            self._processes
+            if pending is None
+            else [self._processes[index] for index in pending]
+        )
+        while True:
+            try:
+                kind, message_epoch, shard_index, payload = self._result_queue.get(
+                    timeout=self._POLL_SECONDS
+                )
+            except queue_module.Empty:
+                if all(process.is_alive() for process in watched):
+                    continue
+                # A watched worker died without reporting; drain any last
+                # message before giving up (its result may already be piped).
+                try:
+                    kind, message_epoch, shard_index, payload = self._result_queue.get(
+                        timeout=self._POLL_SECONDS
+                    )
+                except queue_module.Empty:
+                    raise DetectionError(
+                        "a parallel search worker died unexpectedly"
+                    ) from None
+            if kind in ("ok", "error") and message_epoch != epoch:
+                continue
+            return kind, shard_index, payload
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down and release the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue already gone
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+        self._view.close()
+
+    def __enter__(self) -> "ParallelSearchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def create_parallel_executor(counter, config: ExecutionConfig) -> ParallelSearchExecutor | None:
+    """Build a :class:`ParallelSearchExecutor`, or ``None`` when serial is right.
+
+    Returns ``None`` — and thereby routes the caller through the unchanged
+    in-process path — when the configuration asks for a single worker, when the
+    counter is not engine-backed (e.g. the naive reference path, which exists to
+    measure the seed behaviour), or when the platform cannot provide shared
+    memory: no ``multiprocessing.shared_memory``, a sandbox where allocating a
+    segment fails with ``OSError``/``PermissionError``, or workers that cannot
+    attach/start (surfaced as :class:`DetectionError` from the startup
+    handshake — the executor's constructor cleans its processes and segments up
+    before raising, so falling back is safe).
+    """
+    if config.resolved_workers() <= 1:
+        return None
+    if getattr(counter, "engine", None) is None:
+        return None
+    if not shared_memory_available():
+        return None
+    try:
+        return ParallelSearchExecutor(counter, config)
+    except (OSError, PermissionError, DetectionError):
+        return None

@@ -1,0 +1,63 @@
+"""Partitioning of the search tree's root subtrees into balanced work units.
+
+The paper's search tree (Definition 4.1) generates every pattern exactly once
+because a child may only add attributes with a *larger* schema index than any
+attribute already present.  A first consequence is that the subtrees rooted at the
+single-attribute patterns — the children of the empty pattern — are pairwise
+disjoint, which is exactly the independence a process-parallel executor needs: each
+worker can run the unmodified top-down search on its subset of root subtrees and
+the per-shard classifications union back into the serial result.
+
+A second consequence drives the *balancing*: the subtree of a root pattern
+``(A_i = v)`` only ever specialises over attributes ``A_{i+1} .. A_m``, so subtrees
+get systematically lighter as the attribute index grows (the last attribute's
+subtrees are single leaves).  :func:`estimate_subtree_weight` captures both effects
+with quantities already available after one root-level ``np.bincount`` pass: the
+sum of the sizes of a root pattern's children is ``size * (m - i)`` (every child
+attribute partitions the root's matches), which is proportional to the work of
+expanding the root's first level — the bulk of a pruned search.
+
+:func:`partition_weighted` then assigns units to shards greedily by descending
+weight (longest-processing-time heuristic), which is within 4/3 of the optimal
+makespan and, unlike round-robin, keeps a single heavy first-attribute subtree from
+serialising the whole search.
+"""
+
+from __future__ import annotations
+
+
+def estimate_subtree_weight(size: int, attribute_index: int, n_attributes: int) -> int:
+    """Estimated expansion cost of the subtree rooted at a single-attribute pattern.
+
+    ``size`` is the root pattern's match count ``s_D(p)`` (from the root-level
+    bincount pass) and ``attribute_index`` the schema index of its attribute.  The
+    root's children partition its matches once per deeper attribute, so the summed
+    child sizes — the rows the first expansion level touches — equal
+    ``size * (n_attributes - attribute_index - 1)``.  The ``+ 1`` keeps leaf
+    subtrees (last attribute, nothing to expand) from being weightless, so they
+    still spread across shards instead of all landing in the first one.
+    """
+    return size * (n_attributes - attribute_index - 1) + 1
+
+
+def partition_weighted(weights: list[int], n_shards: int) -> list[list[int]]:
+    """Partition unit indices into at most ``n_shards`` groups of balanced weight.
+
+    Greedy LPT: units are placed heaviest-first onto the currently lightest shard.
+    Ties (equal weights, equally loaded shards) resolve by index, so the plan is
+    deterministic for a deterministic input.  Empty shards are dropped — fewer
+    units than shards simply yields fewer shards.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    shards: list[list[int]] = [[] for _ in range(min(n_shards, len(weights)))]
+    if not shards:
+        return []
+    loads = [0] * len(shards)
+    # Stable sort on the negated weight: equal-weight units keep index order.
+    order = sorted(range(len(weights)), key=lambda index: (-weights[index], index))
+    for index in order:
+        lightest = loads.index(min(loads))
+        shards[lightest].append(index)
+        loads[lightest] += weights[index]
+    return [shard for shard in shards if shard]

@@ -19,11 +19,12 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.bounds import BoundSpec
-from repro.core.detector import DetectionParameters, Detector
+from repro.core.detector import DetectionParameters, Detector, SearchFn
+from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState, top_down_search
+from repro.core.top_down import SearchState
 from repro.exceptions import DetectionError
 
 
@@ -32,26 +33,39 @@ class GlobalBoundsDetector(Detector):
 
     name = "GlobalBounds"
 
-    def __init__(self, bound: BoundSpec, tau_s: int, k_min: int, k_max: int) -> None:
+    def __init__(
+        self,
+        bound: BoundSpec,
+        tau_s: int,
+        k_min: int,
+        k_max: int,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
         if bound.pattern_dependent:
             raise DetectionError(
                 "GlobalBounds requires a pattern-independent bound (e.g. GlobalBoundSpec); "
                 "use PropBoundsDetector for proportional representation"
             )
-        super().__init__(DetectionParameters(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max))
+        super().__init__(
+            DetectionParameters(
+                bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max, execution=execution
+            )
+        )
 
-    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+    def _run(
+        self, counter: PatternCounter, stats: SearchStats, search: SearchFn
+    ) -> dict[int, frozenset[Pattern]]:
         parameters = self.parameters
         bound = parameters.bound
         per_k: dict[int, frozenset[Pattern]] = {}
 
-        state = top_down_search(counter, bound, parameters.k_min, parameters.tau_s, stats)
+        state = search(bound, parameters.k_min, parameters.tau_s, stats)
         per_k[parameters.k_min] = state.most_general()
 
         for k in range(parameters.k_min + 1, parameters.k_max + 1):
             if bound.lower_changes_at(k, 0, counter.dataset_size):
                 # The incremental step is only valid while L_k is unchanged; restart.
-                state = top_down_search(counter, bound, k, parameters.tau_s, stats)
+                state = search(bound, k, parameters.tau_s, stats)
             else:
                 self._incremental_step(counter, bound, state, k, stats)
             per_k[k] = state.most_general()

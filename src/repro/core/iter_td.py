@@ -15,11 +15,11 @@ child, so the k_min..k_max range no longer costs a full mask scan per (pattern, 
 from __future__ import annotations
 
 from repro.core.bounds import BoundSpec
-from repro.core.detector import DetectionParameters, Detector
+from repro.core.detector import DetectionParameters, Detector, SearchFn
+from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.stats import SearchStats
-from repro.core.top_down import top_down_search
 
 
 class IterTDDetector(Detector):
@@ -27,13 +27,28 @@ class IterTDDetector(Detector):
 
     name = "IterTD"
 
-    def __init__(self, bound: BoundSpec, tau_s: int, k_min: int, k_max: int) -> None:
-        super().__init__(DetectionParameters(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max))
+    def __init__(
+        self,
+        bound: BoundSpec,
+        tau_s: int,
+        k_min: int,
+        k_max: int,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
+        super().__init__(
+            DetectionParameters(
+                bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max, execution=execution
+            )
+        )
 
-    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+    def _run(
+        self, counter: PatternCounter, stats: SearchStats, search: SearchFn
+    ) -> dict[int, frozenset[Pattern]]:
         parameters = self.parameters
         per_k: dict[int, frozenset[Pattern]] = {}
         for k in parameters.k_range():
-            state = top_down_search(counter, parameters.bound, k, parameters.tau_s, stats)
+            # Only the most general patterns are consumed, so the parallel path
+            # may return shard-minimal below sets instead of full classifications.
+            state = search(parameters.bound, k, parameters.tau_s, stats, classification=False)
             per_k[k] = state.most_general()
         return per_k

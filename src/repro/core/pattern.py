@@ -61,6 +61,16 @@ class Pattern(Mapping[str, object]):
             return dict(self._items) == dict(other)
         return NotImplemented
 
+    def __reduce__(self) -> tuple[object, ...]:
+        # Rebuild through _rebuild_pattern so the cached hash is recomputed in the
+        # receiving process: with string hash randomisation, a hash pickled from
+        # another interpreter would not match locally constructed equal patterns,
+        # silently breaking dict lookups when the parallel executor ships search
+        # states between processes.  ``_items`` is already canonical (name-sorted),
+        # so the rebuild skips __init__'s merging and sorting — the executor moves
+        # millions of patterns per search, making unpickle cost a hot path.
+        return (_rebuild_pattern, (self._items,))
+
     def __repr__(self) -> str:
         if not self._items:
             return "Pattern{}"
@@ -140,6 +150,16 @@ class Pattern(Mapping[str, object]):
 
 
 _MISSING = object()
+
+
+def _rebuild_pattern(items: tuple[tuple[str, object], ...]) -> Pattern:
+    """Unpickle fast path: restore a pattern from its canonical item tuple."""
+    pattern = Pattern.__new__(Pattern)
+    object.__setattr__(pattern, "_items", items)
+    object.__setattr__(pattern, "_lookup", dict(items))
+    object.__setattr__(pattern, "_hash", hash(items))
+    return pattern
+
 
 #: The empty (most general) pattern.
 EMPTY_PATTERN = Pattern()

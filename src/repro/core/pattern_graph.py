@@ -44,12 +44,16 @@ class PatternCounter:
         ranking: Ranking,
         max_cached_masks: int = DEFAULT_CACHE_CAPACITY,
         sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD,
+        max_cached_blocks: int | None = None,
+        ranked_codes: np.ndarray | None = None,
     ) -> None:
         self._engine = CountingEngine(
             dataset,
             ranking,
             max_cached_patterns=max_cached_masks,
+            max_cached_blocks=max_cached_blocks,
             sparse_threshold=sparse_threshold,
+            ranked_codes=ranked_codes,
         )
 
     # -- basic facts -----------------------------------------------------------

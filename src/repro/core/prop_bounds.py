@@ -24,11 +24,12 @@ from __future__ import annotations
 from collections import defaultdict, deque
 
 from repro.core.bounds import BoundSpec
-from repro.core.detector import DetectionParameters, Detector
+from repro.core.detector import DetectionParameters, Detector, SearchFn
+from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState, top_down_search
+from repro.core.top_down import SearchState
 
 
 class PropBoundsDetector(Detector):
@@ -42,15 +43,28 @@ class PropBoundsDetector(Detector):
 
     name = "PropBounds"
 
-    def __init__(self, bound: BoundSpec, tau_s: int, k_min: int, k_max: int) -> None:
-        super().__init__(DetectionParameters(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max))
+    def __init__(
+        self,
+        bound: BoundSpec,
+        tau_s: int,
+        k_min: int,
+        k_max: int,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
+        super().__init__(
+            DetectionParameters(
+                bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max, execution=execution
+            )
+        )
 
-    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+    def _run(
+        self, counter: PatternCounter, stats: SearchStats, search: SearchFn
+    ) -> dict[int, frozenset[Pattern]]:
         parameters = self.parameters
         bound = parameters.bound
         per_k: dict[int, frozenset[Pattern]] = {}
 
-        state = top_down_search(counter, bound, parameters.k_min, parameters.tau_s, stats)
+        state = search(bound, parameters.k_min, parameters.tau_s, stats)
         # k-tilde bookkeeping: schedule[k] is the set of expanded patterns whose
         # earliest possible violation is at k; k_tilde_of is the reverse index.
         schedule: dict[int, set[Pattern]] = defaultdict(set)

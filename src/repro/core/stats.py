@@ -8,7 +8,7 @@ reproduce those numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 
 @dataclass
@@ -49,26 +49,30 @@ class SearchStats:
         """Increment the free-form counter ``name``."""
         self.extra[name] = self.extra.get(name, 0) + amount
 
+    def copy(self) -> "SearchStats":
+        """An independent copy (the ``extra`` dict is duplicated, not shared)."""
+        return replace(self, extra=dict(self.extra))
+
+    def absorb(self, other: "SearchStats") -> "SearchStats":
+        """Fold the counters of ``other`` into this instance in place and return it.
+
+        This is the accumulation primitive of the parallel executor: every shard
+        returns its own :class:`SearchStats`, and the coordinator absorbs them into
+        the run's stats so the merged totals equal a serial run's counters.  Every
+        dataclass field except ``extra`` is summed by reflection, so counters added
+        in the future participate in parallel-run merges automatically.
+        """
+        for spec in fields(self):
+            if spec.name == "extra":
+                continue
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+        for name, value in other.extra.items():
+            self.extra[name] = self.extra.get(name, 0) + value
+        return self
+
     def merge(self, other: "SearchStats") -> "SearchStats":
         """Return a new :class:`SearchStats` with the counters of both runs summed."""
-        merged = SearchStats(
-            nodes_generated=self.nodes_generated + other.nodes_generated,
-            nodes_evaluated=self.nodes_evaluated + other.nodes_evaluated,
-            size_computations=self.size_computations + other.size_computations,
-            full_searches=self.full_searches + other.full_searches,
-            batch_evaluations=self.batch_evaluations + other.batch_evaluations,
-            cache_hits=self.cache_hits + other.cache_hits,
-            cache_misses=self.cache_misses + other.cache_misses,
-            cache_evictions=self.cache_evictions + other.cache_evictions,
-            dense_masks=self.dense_masks + other.dense_masks,
-            sparse_masks=self.sparse_masks + other.sparse_masks,
-            representation_switches=self.representation_switches + other.representation_switches,
-            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
-            extra=dict(self.extra),
-        )
-        for name, value in other.extra.items():
-            merged.extra[name] = merged.extra.get(name, 0) + value
-        return merged
+        return self.copy().absorb(other)
 
     def as_dict(self) -> dict[str, float]:
         """Flatten the statistics into a plain dictionary (used by the reporters)."""

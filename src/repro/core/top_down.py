@@ -14,12 +14,21 @@ Counting goes through the vectorized engine (:mod:`repro.core.engine`): expandin
 node evaluates each attribute's children as one sibling block — a single batched
 size / top-k-count computation — instead of one Python-level mask per child, and
 repeated sweeps over a k range reuse cached prefix-count blocks.
+
+The traversal is factored into :func:`expand_parent` (classify the children of one
+node) and :func:`run_search` (drain a work queue of parents) so the parallel
+executor (:mod:`repro.core.engine.parallel`) can reuse the exact serial loop: the
+coordinator classifies the root level with one :func:`expand_parent` call, ships the
+expanded single-attribute roots to worker processes as disjoint subtrees
+(Definition 4.1 — each child only adds larger-index attributes, so first-level
+subtrees never overlap), and each worker drains its shard with :func:`run_search`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.bounds import BoundSpec
 from repro.core.pattern import EMPTY_PATTERN, Pattern
@@ -50,6 +59,94 @@ class SearchState:
     def is_visited(self, pattern: Pattern) -> bool:
         return pattern in self.below or pattern in self.expanded
 
+    def merge(self, other: "SearchState") -> "SearchState":
+        """Fold ``other``'s classification into this state in place and return it.
+
+        The parallel executor partitions the search tree into disjoint first-level
+        subtrees, so the per-shard states it merges have no common patterns and the
+        union reproduces the serial classification exactly; most-general minimality
+        (:meth:`most_general`) is computed *after* the merge, never per shard.  When
+        the inputs do overlap (e.g. merging two independent searches), ``other``'s
+        entry wins, matching ``dict.update`` semantics.
+        """
+        self.below.update(other.below)
+        self.expanded.update(other.expanded)
+        self.sizes.update(other.sizes)
+        return self
+
+
+def constant_lower_bound(bound: BoundSpec, k: int, dataset_size: int) -> float | None:
+    """The hoisted pattern-independent lower bound, or ``None`` when it varies.
+
+    Pattern-independent bounds are constant across one search; hoisting the lookup
+    out of the per-node loop avoids re-resolving a step schedule for every evaluated
+    child.
+    """
+    return None if bound.pattern_dependent else bound.lower(k, 0, dataset_size)
+
+
+def expand_parent(
+    counter: PatternCounter,
+    bound: BoundSpec,
+    k: int,
+    tau_s: int,
+    dataset_size: int,
+    state: SearchState,
+    stats: SearchStats,
+    parent: Pattern,
+    constant_lower: float | None,
+    expanded_sink: Callable[[Pattern], None],
+) -> None:
+    """Classify every child of ``parent`` (the body of Algorithm 1's loop).
+
+    Children are evaluated one vectorised sibling block per attribute: sizes and
+    top-k counts of a whole block come from a single batched computation (or a
+    cached prefix-count block on repeated sweeps); children pruned by the size
+    threshold never materialise Pattern objects at all.  Expanded children are
+    handed to ``expanded_sink`` — the work queue's ``append`` in the serial loop,
+    a shard list's ``append`` in the parallel coordinator's root pass.
+    """
+    for block in counter.child_blocks(parent, k):
+        stats.nodes_generated += block.n_children
+        stats.size_computations += block.n_children
+        for child, size, count in block.qualifying(tau_s):
+            state.sizes[child] = size
+            stats.nodes_evaluated += 1
+            lower = constant_lower if constant_lower is not None else bound.lower(
+                k, size, dataset_size
+            )
+            if count < lower:
+                state.below[child] = count
+            else:
+                state.expanded[child] = count
+                expanded_sink(child)
+
+
+def run_search(
+    counter: PatternCounter,
+    bound: BoundSpec,
+    k: int,
+    tau_s: int,
+    state: SearchState,
+    stats: SearchStats,
+    queue: deque[Pattern],
+) -> SearchState:
+    """Drain ``queue`` in level order, expanding every popped pattern into ``state``.
+
+    Seeding the queue with :data:`~repro.core.pattern.EMPTY_PATTERN` yields the full
+    Algorithm 1 traversal; seeding it with expanded single-attribute patterns runs
+    the same traversal restricted to their (disjoint) subtrees, which is how worker
+    processes execute one shard of a parallel search.
+    """
+    dataset_size = counter.dataset_size
+    constant_lower = constant_lower_bound(bound, k, dataset_size)
+    while queue:
+        expand_parent(
+            counter, bound, k, tau_s, dataset_size, state, stats,
+            queue.popleft(), constant_lower, queue.append,
+        )
+    return state
+
 
 def top_down_search(
     counter: PatternCounter,
@@ -76,33 +173,5 @@ def top_down_search(
     """
     stats = stats if stats is not None else SearchStats()
     stats.full_searches += 1
-    dataset_size = counter.dataset_size
     state = SearchState()
-    # Pattern-independent bounds are constant across one search; hoisting the
-    # lookup out of the per-node loop avoids re-resolving a step schedule for
-    # every evaluated child.
-    constant_lower = None if bound.pattern_dependent else bound.lower(k, 0, dataset_size)
-
-    # Level-order expansion over *parents*: popping a pattern evaluates all of its
-    # children, one vectorised sibling block per attribute.  Sizes and top-k counts
-    # of a whole block come from a single batched computation (or a cached
-    # prefix-count block on repeated sweeps); children pruned by the size threshold
-    # never materialise Pattern objects at all.
-    queue: deque[Pattern] = deque([EMPTY_PATTERN])
-    while queue:
-        parent = queue.popleft()
-        for block in counter.child_blocks(parent, k):
-            stats.nodes_generated += block.n_children
-            stats.size_computations += block.n_children
-            for child, size, count in block.qualifying(tau_s):
-                state.sizes[child] = size
-                stats.nodes_evaluated += 1
-                lower = constant_lower if constant_lower is not None else bound.lower(
-                    k, size, dataset_size
-                )
-                if count < lower:
-                    state.below[child] = count
-                else:
-                    state.expanded[child] = count
-                    queue.append(child)
-    return state
+    return run_search(counter, bound, k, tau_s, state, stats, deque([EMPTY_PATTERN]))

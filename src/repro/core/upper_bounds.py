@@ -17,7 +17,8 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.bounds import BoundSpec
-from repro.core.detector import DetectionParameters, Detector
+from repro.core.detector import DetectionParameters, Detector, SearchFn
+from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.result_set import minimal_patterns
@@ -93,13 +94,29 @@ class UpperBoundsDetector(Detector):
     """Detect over-represented groups: most specific substantial patterns above ``U_k``."""
 
     name = "UpperBounds"
+    # The candidate enumeration is a plain size-threshold traversal, not a
+    # bound-driven top-down search; no full searches means no parallel executor.
+    uses_search = False
 
-    def __init__(self, bound: BoundSpec, tau_s: int, k_min: int, k_max: int) -> None:
-        super().__init__(DetectionParameters(bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max))
+    def __init__(
+        self,
+        bound: BoundSpec,
+        tau_s: int,
+        k_min: int,
+        k_max: int,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
+        super().__init__(
+            DetectionParameters(
+                bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max, execution=execution
+            )
+        )
         if bound.upper(k_min, 1, 1) is None:
             raise DetectionError("UpperBoundsDetector requires a bound specification with upper bounds")
 
-    def _run(self, counter: PatternCounter, stats: SearchStats) -> dict[int, frozenset[Pattern]]:
+    def _run(
+        self, counter: PatternCounter, stats: SearchStats, search: SearchFn
+    ) -> dict[int, frozenset[Pattern]]:
         parameters = self.parameters
         bound = parameters.bound
         dataset_size = counter.dataset_size

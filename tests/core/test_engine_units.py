@@ -66,6 +66,68 @@ class TestLRUCache:
         cache.put("a", 1)
         assert len(cache) == 0
 
+    def test_zero_capacity_counts_misses_but_never_evicts(self):
+        cache: LRUCache[str, int] = LRUCache(0)
+        for _ in range(3):
+            cache.put("a", 1)
+            assert cache.get("a") is None
+        assert cache.misses == 3
+        assert cache.hits == 0
+        assert cache.evictions == 0
+        assert "a" not in cache
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_reput_updates_value_and_refreshes_recency(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update in place; must not evict, must refresh "a"
+        assert cache.evictions == 0
+        cache.put("c", 3)  # now "b" is the LRU entry
+        assert cache.peek("a") == 10
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_eviction_order_under_interleaved_reaccess(self):
+        cache: LRUCache[int, int] = LRUCache(3)
+        for key in (1, 2, 3):
+            cache.put(key, key)
+        cache.get(1)
+        cache.get(2)  # recency now 3 < 1 < 2
+        cache.put(4, 4)
+        assert 3 not in cache  # 3 was the least recently used entry
+        cache.get(1)  # recency now 2 < 4 < 1
+        cache.put(5, 5)
+        assert 2 not in cache
+        assert set(cache) == {4, 1, 5}
+
+    def test_eviction_counters_reach_search_stats(self):
+        """Engine evictions under a tiny cache must surface on the run's stats."""
+        from repro.core.bounds import GlobalBoundSpec
+        from repro.core.iter_td import IterTDDetector
+        from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+        from repro.ranking.base import PrecomputedRanker
+
+        spec = SyntheticSpec(
+            n_rows=60, cardinalities=[2, 3, 2], score_weights=[1.0, -0.5, 0.25],
+            noise=0.3, seed=8,
+        )
+        dataset = synthetic_dataset(spec)
+        ranking = PrecomputedRanker(score_column="score").rank(dataset)
+        from repro.core.pattern_graph import PatternCounter
+
+        counter = PatternCounter(dataset, ranking, max_cached_masks=3, max_cached_blocks=3)
+        report = IterTDDetector(
+            bound=GlobalBoundSpec(lower_bounds=2.0), tau_s=2, k_min=2, k_max=30
+        ).detect(dataset, ranking, counter=counter)
+        assert report.stats.cache_evictions > 0
+        assert report.stats.cache_evictions == (
+            counter.engine._matches.evictions + counter.engine._blocks.evictions
+        )
+
     def test_clear_keeps_counters(self):
         cache: LRUCache[str, int] = LRUCache(2)
         cache.put("a", 1)
