@@ -14,6 +14,8 @@ The most common entry points are re-exported here.
 """
 
 from repro.core import (
+    AuditSession,
+    DetectionQuery,
     DetectionReport,
     DetectionResult,
     ExecutionConfig,
@@ -24,6 +26,7 @@ from repro.core import (
     PropBoundsDetector,
     ProportionalBoundSpec,
     detect_biased_groups,
+    run_queries,
 )
 from repro.data import Dataset, Schema
 from repro.ranking import AttributeRanker, PrecomputedRanker, Ranker, Ranking, ScoreRanker
@@ -46,7 +49,10 @@ __all__ = [
     "GlobalBoundsDetector",
     "PropBoundsDetector",
     "ExecutionConfig",
+    "AuditSession",
+    "DetectionQuery",
     "DetectionReport",
     "DetectionResult",
     "detect_biased_groups",
+    "run_queries",
 ]

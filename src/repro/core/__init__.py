@@ -1,8 +1,10 @@
 """Core detection algorithms of the paper.
 
 The package exposes the three detectors (IterTD baseline, GlobalBounds, PropBounds),
-the bound specifications of the two problem definitions, and a convenience function
-:func:`detect_biased_groups` that picks the appropriate optimized algorithm.
+the bound specifications of the two problem definitions, the session-oriented
+repeated-query API (:class:`AuditSession` / :class:`DetectionQuery`), and a
+convenience function :func:`detect_biased_groups` that picks the appropriate
+optimized algorithm for a single one-shot question.
 """
 
 from __future__ import annotations
@@ -25,7 +27,15 @@ from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.pattern_graph import PatternCounter, SearchTree
 from repro.core.prop_bounds import PropBoundsDetector
 from repro.core.result_set import DetectedGroup, DetectionResult, MostGeneralSet, minimal_patterns
-from repro.core.serialization import load_result, save_result
+from repro.core.serialization import (
+    LoadedReport,
+    bound_from_dict,
+    bound_to_dict,
+    load_report,
+    load_result,
+    save_result,
+)
+from repro.core.session import AuditSession, DetectionQuery, detect_biased_groups, run_queries
 from repro.core.stats import SearchStats, examined_gain
 from repro.core.tuning import (
     TuningResult,
@@ -43,44 +53,10 @@ from repro.core.upper_bounds import (
 from repro.data.dataset import Dataset
 from repro.ranking.base import Ranker, Ranking
 
-
-def detect_biased_groups(
-    dataset: Dataset,
-    ranking: Ranking | Ranker,
-    bound: BoundSpec,
-    tau_s: int,
-    k_min: int,
-    k_max: int,
-    algorithm: str = "auto",
-    execution: ExecutionConfig | None = None,
-) -> DetectionReport:
-    """Detect the most general groups with biased (under-)representation.
-
-    ``algorithm`` may be ``"auto"`` (GlobalBounds for pattern-independent bounds,
-    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or ``"prop_bounds"``.
-    ``execution`` carries the engine tunables and parallelism knobs (e.g.
-    ``ExecutionConfig(workers=4)`` shards full searches over four processes).
-    """
-    if algorithm == "auto":
-        algorithm = "prop_bounds" if bound.pattern_dependent else "global_bounds"
-    detectors = {
-        "iter_td": IterTDDetector,
-        "global_bounds": GlobalBoundsDetector,
-        "prop_bounds": PropBoundsDetector,
-    }
-    try:
-        detector_class = detectors[algorithm]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {sorted(detectors)} or 'auto'"
-        ) from None
-    detector = detector_class(
-        bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max, execution=execution
-    )
-    return detector.detect(dataset, ranking)
-
-
 __all__ = [
+    "AuditSession",
+    "DetectionQuery",
+    "run_queries",
     "BoundSpec",
     "GlobalBoundSpec",
     "ProportionalBoundSpec",
@@ -118,6 +94,10 @@ __all__ = [
     "detect_biased_groups",
     "save_result",
     "load_result",
+    "load_report",
+    "LoadedReport",
+    "bound_to_dict",
+    "bound_from_dict",
     "TuningResult",
     "suggest_alpha",
     "suggest_lower_bound",

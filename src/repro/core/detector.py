@@ -10,19 +10,16 @@ Section III suggests — ordered by k and ranked by group size or bias gap.
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
 from repro.core.bounds import BoundSpec
-from repro.core.engine.parallel import ExecutionConfig, create_parallel_executor
+from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.result_set import DetectedGroup, DetectionResult
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState, top_down_search
+from repro.core.top_down import SearchState
 from repro.data.dataset import Dataset
 from repro.exceptions import DetectionError
 from repro.ranking.base import Ranker, Ranking
@@ -90,6 +87,10 @@ class DetectionReport:
         self.result = result
         self.stats = stats
         self._counter = counter
+        #: The :class:`~repro.core.session.DetectionQuery` that produced this
+        #: report, when it came out of a session's query path; ``None`` for
+        #: direct detector runs.
+        self.query = None
 
     def __repr__(self) -> str:
         return (
@@ -189,53 +190,19 @@ class Detector(abc.ABC):
         asks for more than one worker, full searches are sharded over a process
         pool attached to the dataset through shared memory; the per-k result sets
         are bit-identical either way.
+
+        This is a one-shot compatibility wrapper: it opens a single-query
+        :class:`~repro.core.session.AuditSession`, runs this detector through it
+        and closes the session (tearing the worker pool down) before returning.
+        Callers issuing several queries over the same ranked dataset should hold
+        an explicit session instead.
         """
+        # Imported here: session.py builds the query registry from the detector
+        # subclasses, which import this module.
+        from repro.core.session import AuditSession
+
         self.parameters.validate_for(dataset)
-        execution = self.parameters.execution
-        if isinstance(ranking, Ranker):
-            ranking = ranking.rank(dataset)
-        if counter is None:
-            counter = PatternCounter(dataset, ranking, **execution.counter_options())
-        else:
-            if counter.dataset is not dataset and counter.dataset != dataset:
-                raise DetectionError("the supplied counter was built over a different dataset")
-            counter_ranking = counter.ranking
-            if counter_ranking is not ranking and not np.array_equal(
-                counter_ranking.order, ranking.order
-            ):
-                raise DetectionError("the supplied counter was built over a different ranking")
-        # A reused (warm) counter carries cumulative instrumentation; snapshot it so
-        # the report only attributes this run's work.
-        snapshot = getattr(counter, "stats_snapshot", None)
-        baseline = snapshot() if snapshot is not None else None
-        stats = SearchStats()
-        # Worker startup (shared-memory publication, process spawn) is part of
-        # what a parallel run costs, so the clock starts before it.
-        started = time.perf_counter()
-        executor = None
-        if self.uses_search and execution.resolved_workers() > 1:
-            executor = create_parallel_executor(counter, execution)
-            if executor is None:
-                # Restricted platform (or non-engine counter): record the fallback
-                # and run the unchanged serial path.
-                stats.bump("parallel_fallback")
-        try:
-            if executor is not None:
-                search: SearchFn = executor.search
-            else:
-
-                def search(bound, k, tau_s, run_stats, classification=True):
-                    # The in-process search always has the full state at hand;
-                    # `classification` only matters across process boundaries.
-                    return top_down_search(counter, bound, k, tau_s, run_stats)
-
-            per_k = self._run(counter, stats, search)
-            stats.elapsed_seconds = time.perf_counter() - started
-        finally:
-            if executor is not None:
-                executor.close()
-        publish = getattr(counter, "publish_stats", None)
-        if publish is not None:
-            publish(stats, since=baseline)
-        result = DetectionResult(per_k)
-        return DetectionReport(self.name, self.parameters, result, stats, counter)
+        with AuditSession(
+            dataset, ranking, execution=self.parameters.execution, counter=counter
+        ) as session:
+            return session.run_detector(self)

@@ -49,7 +49,7 @@ from repro.core.engine.shared import SharedDatasetHandle, SharedDatasetView, sha
 from repro.core.engine.sharding import estimate_subtree_weight, partition_weighted
 from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.stats import SearchStats
-from repro.exceptions import DetectionError
+from repro.exceptions import DetectionError, ExecutorBrokenError
 
 _START_METHODS = (None, "fork", "spawn", "forkserver")
 
@@ -225,15 +225,32 @@ def _worker_main(
 class ParallelSearchExecutor:
     """Fans top-down searches out over dedicated, cache-affine worker processes.
 
-    One executor serves one detection run: the detectors call :meth:`search`
-    wherever the serial path would call
-    :func:`~repro.core.top_down.top_down_search` (IterTD once per k, the
-    incremental detectors at ``k_min`` and on bound steps), and the incremental
-    per-k bookkeeping stays in the coordinator on the merged state.
+    The executor's lifecycle is decoupled from any single search: the workers are
+    keep-alive processes that serve ``search()`` calls until :meth:`close`, so one
+    executor can back a whole :class:`~repro.core.session.AuditSession` — every
+    query of the session routes its full searches through the same warm pool, and
+    stats are per-call (each ``search()`` writes into the :class:`SearchStats`
+    handed to it), so queries never bleed counters into each other.  One-shot
+    detection runs simply create an executor, run one query's searches, and close
+    it.  Root-subtree shard assignments are cached per ``tau_s``
+    (:meth:`_shard_assignment`), which pins every root subtree to its home worker
+    across queries, not just within one k sweep.
+
+    A worker death mid-search marks the executor *broken*
+    (:class:`~repro.exceptions.ExecutorBrokenError`); every later ``search()``
+    refuses to run and the owner is expected to ``close()`` the executor and
+    reattach to the serial in-process path.  ``close()`` is idempotent and the
+    executor is a context manager.
     """
 
     #: Seconds between liveness checks while waiting on shard results.
     _POLL_SECONDS = 1.0
+
+    #: Shard assignments are cached per tau_s for cross-query affinity; beyond
+    #: this many distinct tau_s values the cache is reset (a tuning sweep over
+    #: tau_s touches tens of values, not thousands — this is a leak guard, not a
+    #: working-set bound).
+    _MAX_CACHED_ASSIGNMENTS = 64
 
     def __init__(self, counter, config: ExecutionConfig) -> None:
         engine = counter.engine
@@ -241,14 +258,15 @@ class ParallelSearchExecutor:
         self._config = config
         self._workers = config.resolved_workers()
         self._closed = False
+        self._broken = False
         # Monotone search counter: tasks and results carry it so that results of
         # a search that failed mid-collection (leaving stragglers in the shared
         # queue) can never be merged into a later search.
         self._epoch = 0
-        # Home-shard assignment of the root patterns; built per tau_s (root sizes
-        # are k-independent, so one detection run builds it exactly once).
-        self._assignment: dict[Pattern, int] | None = None
-        self._assignment_tau: int | None = None
+        # Home-shard assignment of the root patterns, keyed by tau_s (root sizes
+        # are k-independent, so each tau_s is computed once per executor lifetime
+        # and reused by every query that shares it).
+        self._assignments: dict[int, dict[Pattern, int]] = {}
         self._view = SharedDatasetView.publish(
             engine.ranked_codes,
             np.ascontiguousarray(counter.ranking.order),
@@ -282,17 +300,28 @@ class ParallelSearchExecutor:
     def workers(self) -> int:
         return self._workers
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the executor can still serve searches (open, no dead worker)."""
+        return not self._closed and not self._broken
+
     # -- sharding ----------------------------------------------------------------
     def _shard_assignment(self, k: int, tau_s: int) -> dict[Pattern, int]:
         """Home worker of every tau_s-surviving root pattern (stable across k).
 
         Built from one root-level sibling-block pass: the survivors' sizes — and
         therefore their :func:`estimate_subtree_weight` — do not depend on ``k``,
-        so the LPT partition is computed once and each root subtree stays on the
-        same worker for the whole run, no matter which subset of roots is
-        expanded at a particular k.
+        so the LPT partition is computed once per tau_s and each root subtree
+        stays on the same worker for the executor's whole lifetime, no matter
+        which subset of roots is expanded at a particular k — or by a particular
+        query of a multi-query session.
         """
-        if self._assignment is None or self._assignment_tau != tau_s:
+        assignment = self._assignments.get(tau_s)
+        if assignment is None:
             counter = self._counter
             n_attributes = counter.dataset.n_attributes
             roots: list[Pattern] = []
@@ -304,13 +333,14 @@ class ParallelSearchExecutor:
                         estimate_subtree_weight(size, attribute_index, n_attributes)
                     )
             shards = partition_weighted(weights, self._workers)
-            assignment: dict[Pattern, int] = {}
+            assignment = {}
             for shard_index, shard in enumerate(shards):
                 for root_index in shard:
                     assignment[roots[root_index]] = shard_index
-            self._assignment = assignment
-            self._assignment_tau = tau_s
-        return self._assignment
+            if len(self._assignments) >= self._MAX_CACHED_ASSIGNMENTS:
+                self._assignments.clear()
+            self._assignments[tau_s] = assignment
+        return assignment
 
     # -- searching ---------------------------------------------------------------
     def search(
@@ -340,6 +370,10 @@ class ParallelSearchExecutor:
 
         if self._closed:
             raise DetectionError("the parallel search executor has been closed")
+        if self._broken:
+            raise ExecutorBrokenError(
+                "the parallel search executor lost a worker; close it and rerun serially"
+            )
         stats = stats if stats is not None else SearchStats()
         stats.full_searches += 1
         counter = self._counter
@@ -412,7 +446,8 @@ class ParallelSearchExecutor:
                         timeout=self._POLL_SECONDS
                     )
                 except queue_module.Empty:
-                    raise DetectionError(
+                    self._broken = True
+                    raise ExecutorBrokenError(
                         "a parallel search worker died unexpectedly"
                     ) from None
             if kind in ("ok", "error") and message_epoch != epoch:

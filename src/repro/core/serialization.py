@@ -1,24 +1,47 @@
-"""JSON serialisation of patterns, detection results and reports.
+"""JSON serialisation of patterns, bounds, detection results and reports.
 
 A detection run over a large dataset can take a while; persisting its output lets an
 analyst re-load the detected groups later (e.g. to run the Shapley analysis of
 Section V, or to render a dashboard) without re-running the search.  The format is
 plain JSON so the results can also be consumed outside Python.
+
+Two payload shapes share one file format:
+
+* a *result* payload (``result_to_dict``) — just the per-k pattern sets, format
+  version :data:`FORMAT_VERSION`;
+* a *report* payload (``report_to_dict``) — the result payload plus the algorithm
+  name, the full parameters (with a structured, machine-readable bound
+  specification), the search statistics and the per-group context.  Report
+  payloads additionally record :data:`REPORT_FORMAT_VERSION`; version 2 is where
+  the bound became structured (version-1 files stored ``repr(bound)``, which
+  cannot be parsed back).
+
+``load_result`` reads the per-k groups of either shape; :func:`load_report`
+round-trips the full report payload into a :class:`LoadedReport`.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Mapping
 
-from repro.core.detector import DetectionReport
+from repro.core.bounds import BoundSpec, GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.detector import DetectionParameters, DetectionReport
 from repro.core.pattern import Pattern
-from repro.core.result_set import DetectionResult
+from repro.core.result_set import DetectedGroup, DetectionResult
+from repro.core.stats import SearchStats
 from repro.exceptions import DetectionError
 
 #: Format identifier written into every file, bumped on incompatible changes.
 FORMAT_VERSION = 1
+
+#: Format identifier of the *report* payload (the superset written for full
+#: :class:`DetectionReport` objects).  Version 2 introduced structured bound
+#: serialisation; version-1 report files stored only ``repr(bound)`` and cannot
+#: be loaded back into parameters.
+REPORT_FORMAT_VERSION = 2
 
 
 def pattern_to_dict(pattern: Pattern) -> dict[str, object]:
@@ -31,6 +54,108 @@ def pattern_from_dict(data: Mapping[str, object]) -> Pattern:
     return Pattern(dict(data))
 
 
+# -- bound specifications ---------------------------------------------------------
+def _bound_values_to_dict(values) -> dict[str, object]:
+    """Serialise one constant / ``{k: bound}`` schedule / callable bound field."""
+    if callable(values):
+        # A callable schedule has no data representation; record its repr so the
+        # file stays self-describing, and let bound_from_dict fail with a clear
+        # message if someone tries to rebuild it.
+        return {"kind": "opaque", "repr": repr(values)}
+    if isinstance(values, Mapping):
+        return {"kind": "schedule", "steps": {str(k): float(v) for k, v in values.items()}}
+    return {"kind": "constant", "value": float(values)}
+
+
+def _bound_values_from_dict(data: Mapping[str, object]):
+    kind = data.get("kind")
+    if kind == "constant":
+        return float(data["value"])
+    if kind == "schedule":
+        steps = data.get("steps")
+        if not isinstance(steps, Mapping):
+            raise DetectionError("malformed bound payload: schedule without 'steps' mapping")
+        try:
+            return {int(k): float(v) for k, v in steps.items()}
+        except (TypeError, ValueError):
+            raise DetectionError("malformed bound payload: non-numeric schedule entry") from None
+    if kind == "opaque":
+        raise DetectionError(
+            f"the saved bound used a callable schedule ({data.get('repr')!r}) and cannot "
+            "be reconstructed; re-save it as a constant or a step mapping"
+        )
+    raise DetectionError(f"malformed bound payload: unknown value kind {kind!r}")
+
+
+def bound_to_dict(bound: BoundSpec) -> dict[str, object]:
+    """A JSON-compatible representation of a bound specification.
+
+    :class:`GlobalBoundSpec` (constant or step-schedule bounds) and
+    :class:`ProportionalBoundSpec` round-trip losslessly through
+    :func:`bound_from_dict`.  Callable schedules and third-party
+    :class:`BoundSpec` subclasses are recorded as opaque reprs: saving succeeds
+    (the rest of the report is still valuable) but rebuilding them raises.
+    """
+    if isinstance(bound, GlobalBoundSpec):
+        payload: dict[str, object] = {
+            "type": "global",
+            "lower_bounds": _bound_values_to_dict(bound.lower_bounds),
+        }
+        if bound.upper_bounds is not None:
+            payload["upper_bounds"] = _bound_values_to_dict(bound.upper_bounds)
+        return payload
+    if isinstance(bound, ProportionalBoundSpec):
+        payload = {"type": "proportional", "alpha": float(bound.alpha)}
+        if bound.beta is not None:
+            payload["beta"] = float(bound.beta)
+        return payload
+    return {"type": "opaque", "repr": repr(bound)}
+
+
+def bound_from_dict(data: Mapping[str, object]) -> BoundSpec:
+    """Inverse of :func:`bound_to_dict` (for the serialisable bound types)."""
+    if not isinstance(data, Mapping):
+        raise DetectionError("malformed bound payload: expected a mapping")
+    bound_type = data.get("type")
+    if bound_type == "global":
+        lower = data.get("lower_bounds")
+        if not isinstance(lower, Mapping):
+            raise DetectionError("malformed bound payload: missing 'lower_bounds'")
+        upper = data.get("upper_bounds")
+        return GlobalBoundSpec(
+            lower_bounds=_bound_values_from_dict(lower),
+            upper_bounds=None if upper is None else _bound_values_from_dict(upper),
+        )
+    if bound_type == "proportional":
+        try:
+            alpha = float(data["alpha"])
+        except (KeyError, TypeError, ValueError):
+            raise DetectionError("malformed bound payload: missing numeric 'alpha'") from None
+        beta = data.get("beta")
+        return ProportionalBoundSpec(alpha=alpha, beta=None if beta is None else float(beta))
+    if bound_type == "opaque":
+        raise DetectionError(
+            f"the saved bound ({data.get('repr')!r}) was recorded as opaque and cannot "
+            "be reconstructed"
+        )
+    raise DetectionError(f"malformed bound payload: unknown bound type {bound_type!r}")
+
+
+# -- search statistics ------------------------------------------------------------
+def stats_from_dict(data: Mapping[str, object]) -> SearchStats:
+    """Rebuild a :class:`SearchStats` from its :meth:`~SearchStats.as_dict` form."""
+    stats = SearchStats()
+    field_names = {spec.name for spec in fields(SearchStats)} - {"extra"}
+    for name, value in data.items():
+        if name in field_names:
+            kind = float if name == "elapsed_seconds" else int
+            setattr(stats, name, kind(value))
+        else:
+            stats.extra[name] = value
+    return stats
+
+
+# -- results ----------------------------------------------------------------------
 def result_to_dict(result: DetectionResult) -> dict[str, object]:
     """A JSON-compatible representation of a per-k detection result."""
     return {
@@ -64,19 +189,26 @@ def result_from_dict(data: Mapping[str, object]) -> DetectionResult:
     return DetectionResult(per_k)
 
 
-def report_to_dict(report: DetectionReport) -> dict[str, object]:
+# -- reports ----------------------------------------------------------------------
+def report_to_dict(report) -> dict[str, object]:
     """A JSON-compatible representation of a full detection report.
 
+    Accepts a live :class:`DetectionReport` or a re-loaded :class:`LoadedReport`
+    (both expose the same read surface), so loaded reports re-save losslessly.
     Besides the per-k groups, the per-group context (size, top-k count, bound) and
-    the search statistics are included so the file is self-describing.
+    the search statistics are included so the file is self-describing, and the
+    parameters carry a structured bound (:func:`bound_to_dict`) so
+    :func:`load_report` can rebuild them.
     """
     payload = result_to_dict(report.result)
+    payload["report_format_version"] = REPORT_FORMAT_VERSION
     payload["algorithm"] = report.algorithm
     payload["parameters"] = {
         "tau_s": report.parameters.tau_s,
         "k_min": report.parameters.k_min,
         "k_max": report.parameters.k_max,
-        "bound": repr(report.parameters.bound),
+        "bound": bound_to_dict(report.parameters.bound),
+        "bound_repr": repr(report.parameters.bound),
     }
     payload["stats"] = report.stats.as_dict()
     payload["groups"] = {
@@ -94,21 +226,120 @@ def report_to_dict(report: DetectionReport) -> dict[str, object]:
     return payload
 
 
-def save_result(result: DetectionResult | DetectionReport, path: str | Path) -> None:
-    """Write a detection result or full report to ``path`` as JSON."""
+@dataclass
+class LoadedReport:
+    """A detection report re-materialised from disk.
+
+    Mirrors the read side of :class:`~repro.core.detector.DetectionReport`
+    (``groups_at``, ``detailed_groups`` with both orderings) without needing a
+    live counter: the per-group context was persisted, so the loaded report is
+    self-sufficient for presentation, result-set comparison and the Section V
+    analyses that start from the detected groups.
+    """
+
+    algorithm: str
+    parameters: DetectionParameters
+    result: DetectionResult
+    stats: SearchStats
+    groups: dict[int, list[DetectedGroup]]
+    report_format_version: int = REPORT_FORMAT_VERSION
+
+    def groups_at(self, k: int) -> frozenset[Pattern]:
+        return self.result.groups_at(k)
+
+    def detailed_groups(self, k: int, order_by: str = "size") -> list[DetectedGroup]:
+        if order_by not in {"size", "bias"}:
+            raise DetectionError("order_by must be 'size' or 'bias'")
+        groups = list(self.groups.get(k, ()))
+        if order_by == "size":
+            groups.sort(key=lambda group: (-group.size_in_data, group.pattern.describe()))
+        else:
+            groups.sort(key=lambda group: (-group.bias_gap, group.pattern.describe()))
+        return groups
+
+
+def report_from_dict(data: Mapping[str, object]) -> LoadedReport:
+    """Inverse of :func:`report_to_dict`."""
+    version = data.get("report_format_version")
+    if version is None:
+        if "algorithm" in data:
+            raise DetectionError(
+                "this report was saved before structured bound serialisation "
+                "(report format 1); its bound was stored as an unparseable repr — "
+                "use load_result() for the per-k groups, or re-run and re-save"
+            )
+        raise DetectionError(
+            "the payload is a plain detection result, not a report; use load_result()"
+        )
+    if version != REPORT_FORMAT_VERSION:
+        raise DetectionError(
+            f"unsupported report format version {version!r}; expected {REPORT_FORMAT_VERSION}"
+        )
+    result = result_from_dict(data)
+    parameters_raw = data.get("parameters")
+    if not isinstance(parameters_raw, Mapping):
+        raise DetectionError("malformed report payload: missing 'parameters' mapping")
+    try:
+        parameters = DetectionParameters(
+            bound=bound_from_dict(parameters_raw["bound"]),
+            tau_s=int(parameters_raw["tau_s"]),
+            k_min=int(parameters_raw["k_min"]),
+            k_max=int(parameters_raw["k_max"]),
+        )
+    except KeyError as error:
+        raise DetectionError(f"malformed report payload: missing parameter {error}") from None
+    stats = stats_from_dict(data.get("stats") or {})
+    groups: dict[int, list[DetectedGroup]] = {}
+    for k_text, entries in (data.get("groups") or {}).items():
+        try:
+            k = int(k_text)
+        except (TypeError, ValueError):
+            raise DetectionError(f"malformed report payload: bad k value {k_text!r}") from None
+        groups[k] = [
+            DetectedGroup(
+                pattern=pattern_from_dict(entry["pattern"]),
+                k=k,
+                size_in_data=int(entry["size_in_data"]),
+                count_in_top_k=int(entry["count_in_top_k"]),
+                bound=float(entry["bound"]),
+            )
+            for entry in entries
+        ]
+    return LoadedReport(
+        algorithm=str(data.get("algorithm")),
+        parameters=parameters,
+        result=result,
+        stats=stats,
+        groups=groups,
+        report_format_version=int(version),
+    )
+
+
+# -- files ------------------------------------------------------------------------
+def save_result(
+    result: DetectionResult | DetectionReport | LoadedReport, path: str | Path
+) -> None:
+    """Write a detection result or full report (live or re-loaded) to ``path`` as JSON."""
     path = Path(path)
-    if isinstance(result, DetectionReport):
+    if isinstance(result, (DetectionReport, LoadedReport)):
         payload = report_to_dict(result)
     else:
         payload = result_to_dict(result)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
 
 
-def load_result(path: str | Path) -> DetectionResult:
-    """Load the per-k detection result stored at ``path`` (works for both formats)."""
-    path = Path(path)
+def _load_json(path: Path) -> dict[str, object]:
     try:
-        data = json.loads(path.read_text(encoding="utf-8"))
+        return json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as error:
         raise DetectionError(f"{path} does not contain valid JSON: {error}") from None
-    return result_from_dict(data)
+
+
+def load_result(path: str | Path) -> DetectionResult:
+    """Load the per-k detection result stored at ``path`` (works for both formats)."""
+    return result_from_dict(_load_json(Path(path)))
+
+
+def load_report(path: str | Path) -> LoadedReport:
+    """Load a full report payload (algorithm, parameters, stats, groups) from ``path``."""
+    return report_from_dict(_load_json(Path(path)))

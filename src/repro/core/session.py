@@ -1,0 +1,401 @@
+"""Persistent, query-oriented detection API: :class:`AuditSession`.
+
+The one-shot entry points (:meth:`Detector.detect`,
+:func:`~repro.core.detect_biased_groups`) re-encode the ranking, re-publish the
+shared-memory segment and respawn the worker pool on every call — the right
+trade-off for a single question, pure overhead for the interactive workflow
+Section III of the paper envisions, where an analyst probes the *same* ranked
+dataset with many different bounds, size thresholds and k ranges (the paper's own
+tuning guidance — sweep ``alpha`` / ``L_k`` until the result set is reviewable —
+is exactly such a workflow).
+
+:class:`AuditSession` binds the (dataset, ranking) pair once and keeps the serving
+infrastructure warm across queries:
+
+* one engine-backed :class:`~repro.core.pattern_graph.PatternCounter`, whose
+  match/block caches persist across queries (a k-sweep for ``alpha = 0.8`` re-uses
+  the sibling blocks counted for ``alpha = 0.9``);
+* at most one :class:`~repro.core.engine.parallel.ParallelSearchExecutor`,
+  created lazily on the first query that needs it and kept alive until the
+  session closes — one shared-memory publication and one pool spawn serve every
+  query, and the per-``tau_s`` shard assignments pin each root subtree to its
+  home worker *across queries*, so worker block caches stay hot for the whole
+  session;
+* per-query stats isolation: every :meth:`run` gets its own
+  :class:`~repro.core.stats.SearchStats`, with engine counters attributed through
+  snapshot deltas.
+
+Queries are first-class values — a frozen :class:`DetectionQuery` names the bound,
+``tau_s``, the k range and the algorithm, so query sets can be built, stored and
+replayed.  If a pool worker dies mid-query the session closes the executor,
+re-runs the interrupted query on the serial in-process path (results are
+bit-identical by construction) and stays serial from then on; the event is
+recorded as ``executor_reattach`` on the query's stats.
+
+The one-shot API is a thin wrapper over a single-query session, so both paths
+return bit-identical reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bounds import BoundSpec
+from repro.core.detector import DetectionParameters, DetectionReport, Detector
+from repro.core.engine.parallel import ExecutionConfig, create_parallel_executor
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern_graph import PatternCounter
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.core.stats import SearchStats
+from repro.core.top_down import top_down_search
+from repro.data.dataset import Dataset
+from repro.exceptions import DetectionError, ExecutorBrokenError
+from repro.ranking.base import Ranker, Ranking
+
+#: Algorithm names accepted by :class:`DetectionQuery`, mapped to detector classes.
+DETECTOR_CLASSES = {
+    "iter_td": IterTDDetector,
+    "global_bounds": GlobalBoundsDetector,
+    "prop_bounds": PropBoundsDetector,
+}
+
+
+@dataclass(frozen=True)
+class DetectionQuery:
+    """One detection question, as a frozen value.
+
+    ``algorithm`` is ``"auto"`` (GlobalBounds for pattern-independent bounds,
+    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or
+    ``"prop_bounds"`` — the same names the one-shot
+    :func:`~repro.core.detect_biased_groups` facade accepts.  Instances carry no
+    dataset or execution state, so the same query can be run against many
+    sessions (or stored alongside a saved report).
+    """
+
+    bound: BoundSpec
+    tau_s: int
+    k_min: int
+    k_max: int
+    algorithm: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.algorithm != "auto" and self.algorithm not in DETECTOR_CLASSES:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{sorted(DETECTOR_CLASSES)} or 'auto'"
+            )
+        # Reuse the parameter validation (tau_s >= 1, k_min >= 1, k_max >= k_min).
+        DetectionParameters(
+            bound=self.bound, tau_s=self.tau_s, k_min=self.k_min, k_max=self.k_max
+        )
+
+    def resolved_algorithm(self) -> str:
+        """The concrete algorithm name (``"auto"`` resolved against the bound)."""
+        if self.algorithm != "auto":
+            return self.algorithm
+        return "prop_bounds" if self.bound.pattern_dependent else "global_bounds"
+
+    def build_detector(self, execution: ExecutionConfig | None = None) -> Detector:
+        """Instantiate the detector this query asks for."""
+        detector_class = DETECTOR_CLASSES[self.resolved_algorithm()]
+        return detector_class(
+            bound=self.bound,
+            tau_s=self.tau_s,
+            k_min=self.k_min,
+            k_max=self.k_max,
+            execution=execution,
+        )
+
+
+class AuditSession:
+    """A long-lived detection context over one (dataset, ranking) pair.
+
+    Parameters
+    ----------
+    dataset:
+        The relation under audit.
+    ranking:
+        Either a :class:`~repro.ranking.base.Ranking` of ``dataset`` or a
+        :class:`~repro.ranking.base.Ranker` (ranked once, at construction).
+    execution:
+        Engine tunables and parallelism knobs shared by every query of the
+        session; ``None`` means the documented defaults (serial, warm caches).
+    counter:
+        An existing counter to adopt instead of building a fresh one — e.g. a
+        warm engine-backed counter from an earlier session, or the naive
+        reference counter for parity runs.  Must have been built over the same
+        dataset and ranking (validated cheaply via
+        :meth:`~repro.data.dataset.Dataset.fingerprint`).
+
+    Use as a context manager, or call :meth:`close` explicitly to shut the worker
+    pool down; :meth:`close` is idempotent and reports remain readable after it.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        ranking: Ranking | Ranker,
+        execution: ExecutionConfig | None = None,
+        counter: PatternCounter | None = None,
+    ) -> None:
+        self._execution = execution if execution is not None else ExecutionConfig()
+        if isinstance(ranking, Ranker):
+            ranking = ranking.rank(dataset)
+        if counter is None:
+            counter = PatternCounter(dataset, ranking, **self._execution.counter_options())
+        else:
+            counter_dataset = counter.dataset
+            if not (
+                counter_dataset is dataset
+                or (isinstance(counter_dataset, Dataset) and counter_dataset.same_data(dataset))
+            ):
+                raise DetectionError("the supplied counter was built over a different dataset")
+            counter_ranking = counter.ranking
+            if counter_ranking is not ranking and not np.array_equal(
+                counter_ranking.order, ranking.order
+            ):
+                raise DetectionError("the supplied counter was built over a different ranking")
+        self._dataset = dataset
+        self._ranking = ranking
+        self._counter = counter
+        self._executor = None
+        # Once the parallel path proved unavailable (restricted platform,
+        # non-engine counter) or lost a worker, stay serial: respawning on every
+        # query would turn a permanent condition into a per-query stall.
+        self._parallel_disabled = False
+        self._closed = False
+        self._queries_run = 0
+
+    # -- accessors --------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def ranking(self) -> Ranking:
+        return self._ranking
+
+    @property
+    def counter(self) -> PatternCounter:
+        """The session's warm counting engine (shared by every query)."""
+        return self._counter
+
+    @property
+    def execution(self) -> ExecutionConfig:
+        return self._execution
+
+    @property
+    def queries_run(self) -> int:
+        """Number of queries served so far."""
+        return self._queries_run
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("warm" if self._executor else "open")
+        return (
+            f"AuditSession(rows={self._dataset.n_rows}, "
+            f"workers={self._execution.resolved_workers()}, "
+            f"queries_run={self._queries_run}, state={state})"
+        )
+
+    # -- querying ---------------------------------------------------------------
+    def run(self, query: DetectionQuery) -> DetectionReport:
+        """Run one :class:`DetectionQuery` and return its :class:`DetectionReport`.
+
+        Results are bit-identical to the one-shot
+        :func:`~repro.core.detect_biased_groups` call with the same arguments;
+        only the serving cost differs (warm caches, shared executor).
+        """
+        detector = query.build_detector(self._execution)
+        report = self.run_detector(detector)
+        report.query = query
+        return report
+
+    def run_many(self, queries: Iterable[DetectionQuery]) -> list[DetectionReport]:
+        """Run several queries through the shared engine and pool, in order.
+
+        Batching queries through one session is what keeps the executor's
+        root-subtree shards pinned to their home workers *across* queries: the
+        per-``tau_s`` shard assignment is computed once and every query that
+        shares a ``tau_s`` re-counts exactly the blocks its workers already
+        cached.
+        """
+        return [self.run(query) for query in queries]
+
+    def run_detector(self, detector: Detector) -> DetectionReport:
+        """Run an arbitrary :class:`~repro.core.detector.Detector` instance.
+
+        This is the escape hatch for detectors outside the query registry (e.g.
+        :class:`~repro.core.upper_bounds.UpperBoundsDetector`, or a user-defined
+        subclass): the detector's own parameters are used, the session supplies
+        the warm counter and — when the detector runs full searches — the shared
+        executor.  The one-shot :meth:`Detector.detect` is implemented as a
+        single-query session calling this method.
+        """
+        if self._closed:
+            raise DetectionError("the audit session has been closed")
+        detector.parameters.validate_for(self._dataset)
+        counter = self._counter
+        stats = SearchStats()
+        # A warm counter carries cumulative instrumentation; snapshot it so the
+        # report only attributes this query's work.
+        baseline = self._stats_baseline()
+        # Executor startup (shared-memory publication, pool spawn) is part of what
+        # the query that triggers it costs, so the clock starts before it.
+        started = time.perf_counter()
+        executor = self._ensure_executor(detector, stats)
+        try:
+            per_k = self._run_with(detector, stats, executor)
+        except ExecutorBrokenError:
+            # A worker died mid-query: drop the pool, reattach to the serial
+            # in-process path and re-run this query from scratch.  Fresh stats and
+            # a fresh engine baseline keep the report's counters attributable to
+            # the (successful) serial run; the wall clock keeps the original start
+            # so the failed parallel attempt is honestly part of the elapsed time.
+            # The lifecycle counters survive the reset: if this query created the
+            # executor, the publish/spawn really happened and the session-wide
+            # sums must still account for it.
+            lifecycle = {
+                name: stats.extra[name]
+                for name in ("shm_publishes", "pool_spawns")
+                if name in stats.extra
+            }
+            self._discard_executor()
+            stats = SearchStats()
+            stats.extra.update(lifecycle)
+            stats.bump("executor_reattach")
+            baseline = self._stats_baseline()
+            per_k = self._run_with(detector, stats, executor=None)
+        stats.elapsed_seconds = time.perf_counter() - started
+        publish = getattr(counter, "publish_stats", None)
+        if publish is not None:
+            publish(stats, since=baseline)
+        self._queries_run += 1
+        from repro.core.result_set import DetectionResult
+
+        result = DetectionResult(per_k)
+        return DetectionReport(detector.name, detector.parameters, result, stats, counter)
+
+    # -- internals ---------------------------------------------------------------
+    def _stats_baseline(self):
+        snapshot = getattr(self._counter, "stats_snapshot", None)
+        return snapshot() if snapshot is not None else None
+
+    def _run_with(self, detector: Detector, stats: SearchStats, executor):
+        counter = self._counter
+        if executor is not None:
+            search = executor.search
+        else:
+
+            def search(bound, k, tau_s, run_stats, classification=True):
+                # The in-process search always has the full state at hand;
+                # `classification` only matters across process boundaries.
+                return top_down_search(counter, bound, k, tau_s, run_stats)
+
+        return detector._run(counter, stats, search)
+
+    def _ensure_executor(self, detector: Detector, stats: SearchStats):
+        """The shared executor for this query, or ``None`` for the serial path.
+
+        Created lazily on the first query that actually fans searches out
+        (``detector.uses_search`` and more than one worker).  The creating query's
+        stats record the lifecycle events (``shm_publishes``, ``pool_spawns``) —
+        summing them over a session's reports counts the publications and spawns
+        the whole session performed, which is how the reuse guarantees are
+        asserted and benchmarked.
+        """
+        if not detector.uses_search:
+            return None
+        if self._execution.resolved_workers() <= 1:
+            return None
+        if self._executor is not None:
+            if self._executor.healthy:
+                return self._executor
+            self._discard_executor()
+        if self._parallel_disabled:
+            stats.bump("parallel_fallback")
+            return None
+        executor = create_parallel_executor(self._counter, self._execution)
+        if executor is None:
+            # Restricted platform or non-engine counter: record the fallback and
+            # run the unchanged serial path — for this and every later query.
+            self._parallel_disabled = True
+            stats.bump("parallel_fallback")
+            return None
+        stats.bump("shm_publishes")
+        stats.bump("pool_spawns")
+        self._executor = executor
+        return executor
+
+    def _discard_executor(self) -> None:
+        self._parallel_disabled = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down and release the shared-memory segments.
+
+        Idempotent.  The session refuses new queries afterwards; already returned
+        reports (and the warm counter) stay usable.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "AuditSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def detect_biased_groups(
+    dataset: Dataset,
+    ranking: Ranking | Ranker,
+    bound: BoundSpec,
+    tau_s: int,
+    k_min: int,
+    k_max: int,
+    algorithm: str = "auto",
+    execution: ExecutionConfig | None = None,
+) -> DetectionReport:
+    """Detect the most general groups with biased (under-)representation.
+
+    ``algorithm`` may be ``"auto"`` (GlobalBounds for pattern-independent bounds,
+    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or ``"prop_bounds"``.
+    ``execution`` carries the engine tunables and parallelism knobs (e.g.
+    ``ExecutionConfig(workers=4)`` shards full searches over four processes).
+
+    This is the one-shot convenience wrapper over a single-query
+    :class:`AuditSession`; issuing several queries against the same ranked
+    dataset is cheaper through an explicit session.
+    """
+    query = DetectionQuery(
+        bound=bound, tau_s=tau_s, k_min=k_min, k_max=k_max, algorithm=algorithm
+    )
+    with AuditSession(dataset, ranking, execution=execution) as session:
+        return session.run(query)
+
+
+def run_queries(
+    dataset: Dataset,
+    ranking: Ranking | Ranker,
+    queries: Sequence[DetectionQuery],
+    execution: ExecutionConfig | None = None,
+) -> list[DetectionReport]:
+    """Run a batch of queries through one temporary :class:`AuditSession`."""
+    with AuditSession(dataset, ranking, execution=execution) as session:
+        return session.run_many(queries)

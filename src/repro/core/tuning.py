@@ -17,6 +17,12 @@ more — and bisect over a bounded range.  Because replacing several specific gr
 by one more general ancestor can locally shrink the result, the returned value is a
 *feasible* suggestion (its own report is within the target) rather than a provably
 extremal one.
+
+A bisection issues a dozen-odd detection queries against the *same* ranked dataset
+— the archetypal repeated-query workload — so every suggester runs its probes
+through one :class:`~repro.core.session.AuditSession`: the ranking is encoded
+once, the engine's sibling-block caches stay warm between probes, and (with a
+parallel ``execution``) one worker pool serves the whole search.
 """
 
 from __future__ import annotations
@@ -26,8 +32,8 @@ from typing import Callable
 
 from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
 from repro.core.detector import DetectionReport
-from repro.core.global_bounds import GlobalBoundsDetector
-from repro.core.prop_bounds import PropBoundsDetector
+from repro.core.engine.parallel import ExecutionConfig
+from repro.core.session import AuditSession, DetectionQuery
 from repro.data.dataset import Dataset
 from repro.exceptions import DetectionError
 from repro.ranking.base import Ranking
@@ -102,19 +108,22 @@ def suggest_alpha(
     target_max_groups: int = 100,
     alpha_range: tuple[float, float] = (0.05, 2.0),
     tolerance: float = 0.01,
+    execution: ExecutionConfig | None = None,
 ) -> TuningResult:
     """Largest ``alpha`` whose proportional-representation result stays concise."""
     low, high = alpha_range
     if not 0 < low < high:
         raise DetectionError("alpha_range must satisfy 0 < low < high")
 
-    def make_report(alpha: float) -> DetectionReport:
-        detector = PropBoundsDetector(
-            bound=ProportionalBoundSpec(alpha=alpha), tau_s=tau_s, k_min=k_min, k_max=k_max
-        )
-        return detector.detect(dataset, ranking)
+    with AuditSession(dataset, ranking, execution=execution) as session:
 
-    return _bisect_largest_feasible(make_report, low, high, target_max_groups, tolerance)
+        def make_report(alpha: float) -> DetectionReport:
+            return session.run(DetectionQuery(
+                bound=ProportionalBoundSpec(alpha=alpha), tau_s=tau_s, k_min=k_min,
+                k_max=k_max, algorithm="prop_bounds",
+            ))
+
+        return _bisect_largest_feasible(make_report, low, high, target_max_groups, tolerance)
 
 
 def suggest_lower_bound(
@@ -126,17 +135,20 @@ def suggest_lower_bound(
     target_max_groups: int = 100,
     max_bound: float | None = None,
     tolerance: float = 1.0,
+    execution: ExecutionConfig | None = None,
 ) -> TuningResult:
     """Largest constant global lower bound ``L`` whose result stays concise."""
     high = float(max_bound if max_bound is not None else k_max)
 
-    def make_report(lower: float) -> DetectionReport:
-        detector = GlobalBoundsDetector(
-            bound=GlobalBoundSpec(lower_bounds=lower), tau_s=tau_s, k_min=k_min, k_max=k_max
-        )
-        return detector.detect(dataset, ranking)
+    with AuditSession(dataset, ranking, execution=execution) as session:
 
-    return _bisect_largest_feasible(make_report, 0.0, high, target_max_groups, tolerance)
+        def make_report(lower: float) -> DetectionReport:
+            return session.run(DetectionQuery(
+                bound=GlobalBoundSpec(lower_bounds=lower), tau_s=tau_s, k_min=k_min,
+                k_max=k_max, algorithm="global_bounds",
+            ))
+
+        return _bisect_largest_feasible(make_report, 0.0, high, target_max_groups, tolerance)
 
 
 def suggest_size_threshold(
@@ -147,6 +159,7 @@ def suggest_size_threshold(
     k_max: int,
     target_max_groups: int = 100,
     tau_s_range: tuple[int, int] | None = None,
+    execution: ExecutionConfig | None = None,
 ) -> TuningResult:
     """Smallest size threshold ``tau_s`` that keeps the result within the target.
 
@@ -157,30 +170,31 @@ def suggest_size_threshold(
     if not 1 <= low <= high:
         raise DetectionError("tau_s_range must satisfy 1 <= low <= high")
 
-    detector_class = PropBoundsDetector if bound.pattern_dependent else GlobalBoundsDetector
+    with AuditSession(dataset, ranking, execution=execution) as session:
 
-    def make_report(tau_s: float) -> DetectionReport:
-        detector = detector_class(bound=bound, tau_s=int(tau_s), k_min=k_min, k_max=k_max)
-        return detector.detect(dataset, ranking)
+        def make_report(tau_s: float) -> DetectionReport:
+            return session.run(DetectionQuery(
+                bound=bound, tau_s=int(tau_s), k_min=k_min, k_max=k_max, algorithm="auto"
+            ))
 
-    high_result = _evaluate(make_report, high)
-    if not high_result.within(target_max_groups):
-        raise DetectionError(
-            f"even tau_s={high} reports {high_result.max_groups_per_k} groups for some k "
-            f"(target {target_max_groups})"
-        )
-    low_result = _evaluate(make_report, low)
-    if low_result.within(target_max_groups):
-        return low_result
+        high_result = _evaluate(make_report, high)
+        if not high_result.within(target_max_groups):
+            raise DetectionError(
+                f"even tau_s={high} reports {high_result.max_groups_per_k} groups for some k "
+                f"(target {target_max_groups})"
+            )
+        low_result = _evaluate(make_report, low)
+        if low_result.within(target_max_groups):
+            return low_result
 
-    best = high_result
-    low_value, high_value = low, high
-    while high_value - low_value > 1:
-        middle = (low_value + high_value) // 2
-        middle_result = _evaluate(make_report, middle)
-        if middle_result.within(target_max_groups):
-            best = middle_result
-            high_value = middle
-        else:
-            low_value = middle
-    return best
+        best = high_result
+        low_value, high_value = low, high
+        while high_value - low_value > 1:
+            middle = (low_value + high_value) // 2
+            middle_result = _evaluate(make_report, middle)
+            if middle_result.within(target_max_groups):
+                best = middle_result
+                high_value = middle
+            else:
+                low_value = middle
+        return best

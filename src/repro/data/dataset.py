@@ -16,6 +16,7 @@ original beyond read-only numpy arrays.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -63,6 +64,9 @@ class Dataset:
                 )
             values.setflags(write=False)
             self._numeric[name] = values
+        # Content fingerprint, computed lazily and cached — the arrays above are
+        # frozen, so the digest can never go stale.
+        self._fingerprint: str | None = None
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -147,9 +151,50 @@ class Dataset:
             f"numeric={list(self.numeric_names)})"
         )
 
+    def fingerprint(self) -> str:
+        """A cheap content digest of the dataset (schema, codes, numeric columns).
+
+        Computed once per instance and cached (the underlying arrays are frozen at
+        construction).  Equal fingerprints imply equal datasets up to hash
+        collisions, so callers that repeatedly validate "is this the same data?" —
+        e.g. reusing a warm :class:`~repro.core.pattern_graph.PatternCounter`
+        across detection runs — can compare two 32-character strings instead of
+        walking both code matrices on every call.  Unequal fingerprints are not
+        quite conclusive the other way (``-0.0`` vs ``0.0`` in a numeric column
+        hashes differently but compares equal), so :meth:`same_data` falls back to
+        full equality before declaring a mismatch.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for attribute in self._schema:
+                digest.update(repr((attribute.name, attribute.values)).encode("utf-8"))
+            digest.update(repr(self._codes.shape).encode("utf-8"))
+            digest.update(self._codes.tobytes())
+            for name in sorted(self._numeric):
+                digest.update(repr(name).encode("utf-8"))
+                digest.update(self._numeric[name].tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def same_data(self, other: "Dataset") -> bool:
+        """Whether ``other`` holds the same data, checked as cheaply as possible.
+
+        Identity first, then the cached :meth:`fingerprint`, then (only on a
+        fingerprint mismatch, i.e. the error path) the full equality walk.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, Dataset):
+            return False
+        if self.fingerprint() == other.fingerprint():
+            return True
+        return self == other
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Dataset):
             return NotImplemented
+        if self is other:
+            return True
         if self._schema != other._schema or self.numeric_names != other.numeric_names:
             return False
         if not np.array_equal(self._codes, other._codes):

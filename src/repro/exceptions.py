@@ -53,6 +53,16 @@ class DetectionError(ReproError):
     """A detection algorithm was invoked with inconsistent parameters."""
 
 
+class ExecutorBrokenError(DetectionError):
+    """A parallel search executor lost a worker process mid-run.
+
+    Raised by :class:`repro.core.engine.parallel.ParallelSearchExecutor` when a
+    worker it is waiting on dies without reporting a result.  The executor is
+    unusable afterwards; session-level callers catch this to close the pool and
+    re-run the interrupted query on the serial in-process path.
+    """
+
+
 class ModelError(ReproError):
     """A regression model in :mod:`repro.mlcore` was misused (e.g. predict before fit)."""
 

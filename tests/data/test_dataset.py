@@ -125,3 +125,47 @@ class TestDerivedDatasets:
     def test_codes_are_read_only(self, small_dataset: Dataset):
         with pytest.raises(ValueError):
             small_dataset.codes[0, 0] = 1
+
+
+class TestFingerprint:
+    def test_equal_datasets_share_a_fingerprint(self, small_dataset: Dataset):
+        clone = Dataset(
+            small_dataset.schema,
+            small_dataset.codes.copy(),
+            {name: small_dataset.numeric_column(name).copy()
+             for name in small_dataset.numeric_names},
+        )
+        assert clone is not small_dataset
+        assert clone.fingerprint() == small_dataset.fingerprint()
+        assert small_dataset.same_data(clone)
+
+    def test_fingerprint_is_cached(self, small_dataset: Dataset):
+        first = small_dataset.fingerprint()
+        assert small_dataset.fingerprint() is first
+
+    def test_different_codes_change_fingerprint(self, small_dataset: Dataset):
+        reordered = small_dataset.take([1, 0, 2, 3, 4])
+        assert reordered.fingerprint() != small_dataset.fingerprint()
+        assert not small_dataset.same_data(reordered)
+
+    def test_different_numeric_changes_fingerprint(self, small_dataset: Dataset):
+        bumped = small_dataset.with_numeric(
+            "grade", small_dataset.numeric_column("grade") + 1.0
+        )
+        assert bumped.fingerprint() != small_dataset.fingerprint()
+
+    def test_same_data_identity_fast_path(self, small_dataset: Dataset):
+        # Identity never needs a digest.
+        assert small_dataset.same_data(small_dataset)
+        assert small_dataset._fingerprint is None or isinstance(
+            small_dataset._fingerprint, str
+        )
+
+    def test_same_data_falls_back_to_full_equality(self, small_dataset: Dataset):
+        # -0.0 vs 0.0 hashes differently but compares equal; same_data must agree
+        # with == rather than with the digest.
+        zeros = small_dataset.with_numeric("grade", np.zeros(5))
+        negative_zeros = zeros.with_numeric("grade", -np.zeros(5))
+        assert zeros.fingerprint() != negative_zeros.fingerprint()
+        assert zeros == negative_zeros
+        assert zeros.same_data(negative_zeros)
