@@ -1,15 +1,25 @@
-"""Compare the current ``BENCH_engine.json`` against the committed baseline.
+"""Compare benchmark artifacts against their committed baselines / gates.
 
-The benchmark artifact records, per (workload, problem, algorithm), the engine's
-speedup over the naive per-pattern counting path measured *on the same machine in
-the same run*.  That ratio is largely hardware-independent, so it is the quantity
-this checker guards: a drop of more than ``tolerance`` (default 20%) relative to
-the committed baseline ratio fails the check, which catches changes that slow the
-engine down without having to compare absolute seconds across machines.
+Two artifacts are guarded:
+
+* ``BENCH_engine.json`` — records, per (workload, problem, algorithm), the
+  engine's speedup over the naive per-pattern counting path measured *on the
+  same machine in the same run*.  That ratio is largely hardware-independent,
+  so it is the quantity this checker guards: a drop of more than ``tolerance``
+  (default 20%) relative to the committed baseline ratio fails the check, which
+  catches changes that slow the engine down without having to compare absolute
+  seconds across machines.
+* ``BENCH_planner.json`` — records the query planner's per-query-loop vs
+  planner-served comparison.  Its gates are *counters*, not ratios (bit-identical
+  results, strictly fewer root searches and batch evaluations, balanced
+  cache-hit/miss provenance), so they are machine-independent by construction
+  and checked exactly.  A missing planner artifact is skipped with a note — the
+  engine-only workflow stays usable.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py     # regenerate
+    PYTHONPATH=src python benchmarks/bench_query_planner.py         # regenerate
     python benchmarks/check_regression.py                           # compare
 
 The check is also wired into the opt-in ``bench_smoke`` pytest marker
@@ -26,9 +36,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_CURRENT = REPO_ROOT / "BENCH_engine.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_engine_baseline.json"
+DEFAULT_PLANNER = REPO_ROOT / "BENCH_planner.json"
 
 #: Maximum tolerated relative drop in the engine-vs-naive speedup.
 DEFAULT_TOLERANCE = 0.20
+
+#: Gates the planner artifact must pass (see bench_query_planner.py).
+PLANNER_GATES = (
+    "results_bit_identical",
+    "fewer_full_searches",
+    "fewer_batch_evaluations",
+    "one_miss_per_step",
+    "every_query_served",
+)
 
 
 def entry_key(entry: dict) -> tuple[str, str, str]:
@@ -67,6 +87,27 @@ def check_regression(
     return problems
 
 
+def check_planner(current: dict) -> list[str]:
+    """Gate failures of a ``BENCH_planner.json`` artifact (empty when it passes).
+
+    The planner's gates are exact counter comparisons, so there is no committed
+    baseline and no tolerance: a gate is either true or the planner regressed.
+    """
+    problems: list[str] = []
+    gates = (current.get("summary") or {}).get("gates")
+    if not isinstance(gates, dict):
+        return ["planner artifact has no summary.gates mapping"]
+    for name in PLANNER_GATES:
+        if name not in gates:
+            problems.append(f"planner gate {name}: missing from the artifact")
+        elif not gates[name]:
+            problems.append(f"planner gate {name}: failed")
+    saved = (current.get("summary") or {}).get("full_searches_saved")
+    if isinstance(saved, (int, float)) and saved <= 0:
+        problems.append(f"planner saved no root searches ({saved})")
+    return problems
+
+
 def load_artifact(path: Path) -> dict:
     return json.loads(path.read_text())
 
@@ -76,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT)
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--planner", type=Path, default=DEFAULT_PLANNER,
+                        help="planner artifact to gate (skipped, with a note, "
+                             "when the file does not exist)")
     args = parser.parse_args(argv)
 
     if not args.current.exists():
@@ -87,12 +131,19 @@ def main(argv: list[str] | None = None) -> int:
     problems = check_regression(
         load_artifact(args.current), load_artifact(args.baseline), args.tolerance
     )
+    if args.planner.exists():
+        problems.extend(check_planner(load_artifact(args.planner)))
+    else:
+        print(f"planner artifact {args.planner} not found; skipping the planner "
+              "gates (run bench_query_planner.py to produce it)")
     if problems:
-        print("throughput regression check FAILED:")
+        print("benchmark regression check FAILED:")
         for problem in problems:
             print(f"  - {problem}")
         return 1
     print(f"throughput regression check passed (tolerance {args.tolerance:.0%})")
+    if args.planner.exists():
+        print("planner gates passed (bit-identical, strictly fewer searches/batches)")
     return 0
 
 

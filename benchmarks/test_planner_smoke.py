@@ -1,0 +1,80 @@
+"""Smoke tests for the query-planner benchmark and its regression gates.
+
+The cheap pure-logic tests of ``check_planner`` run everywhere; the scaled-down
+benchmark run itself is opt-in behind the ``bench_smoke`` marker::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench_smoke
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from benchmarks.bench_query_planner import run_benchmark
+from benchmarks.check_regression import PLANNER_GATES, check_planner
+
+
+class TestCheckPlannerLogic:
+    ARTIFACT = {
+        "summary": {
+            "gates": {name: True for name in PLANNER_GATES},
+            "gates_ok": True,
+            "full_searches_saved": 120,
+            "batch_evaluations_saved": 4000,
+        },
+    }
+
+    def test_passes_when_all_gates_hold(self):
+        assert check_planner(copy.deepcopy(self.ARTIFACT)) == []
+
+    def test_failed_gate_reported_by_name(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["summary"]["gates"]["fewer_full_searches"] = False
+        problems = check_planner(current)
+        assert len(problems) == 1
+        assert "fewer_full_searches" in problems[0]
+
+    def test_missing_gate_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        del current["summary"]["gates"]["results_bit_identical"]
+        problems = check_planner(current)
+        assert any("results_bit_identical" in problem for problem in problems)
+
+    def test_zero_savings_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["summary"]["full_searches_saved"] = 0
+        problems = check_planner(current)
+        assert any("saved no root searches" in problem for problem in problems)
+
+    def test_malformed_artifact_reported(self):
+        assert check_planner({}) == ["planner artifact has no summary.gates mapping"]
+
+
+@pytest.mark.bench_smoke
+class TestPlannerSmoke:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        """One scaled-down benchmark run shared by the smoke assertions."""
+        return run_benchmark(n_rows=3000, n_attributes=6, repeat_factor=2)
+
+    def test_gates_hold_at_smoke_scale(self, artifact):
+        assert artifact["summary"]["gates_ok"], artifact["summary"]["gates"]
+        assert check_planner(artifact) == []
+
+    def test_plan_shape(self, artifact):
+        assert artifact["n_queries"] == 24
+        plan = artifact["plan"]
+        # The 12-query batch collapses to 5 covering sweeps; the repeated batch
+        # is absorbed entirely by dedupe + the result cache.
+        assert plan["n_steps"] == 5
+        assert plan["deduped_queries"] + plan["merged_ranges"] == 24 - 5
+
+    def test_savings_are_substantial(self, artifact):
+        per_query = artifact["per_query"]
+        planned = artifact["planned"]
+        # 24 queries served by 5 sweeps: at least half the root searches saved.
+        assert planned["full_searches"] * 2 < per_query["full_searches"]
+        assert planned["result_cache_hits"] == 24 - 5
+        assert planned["result_cache_misses"] == 5

@@ -1,0 +1,86 @@
+"""Shared dataset/ranking/session setup for the example scripts.
+
+Every example audits one ranked cohort through an :class:`~repro.AuditSession`;
+the dataset/ranker pairing, the optional attribute projection and the opening
+announcement used to be repeated in each script.  :func:`ranked_workload` builds
+the (dataset, ranking) pair once and :func:`open_audit` adds the session, so the
+example files stay focused on what each of them actually demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro import AuditSession, Dataset
+from repro.data.generators import (
+    compas_dataset,
+    german_credit_dataset,
+    student_dataset,
+    students_toy,
+)
+from repro.ranking import (
+    Ranking,
+    compas_ranker,
+    german_credit_ranker,
+    student_ranker,
+    toy_ranker,
+)
+
+#: Workload name -> (dataset factory, ranker factory, announcement template).
+WORKLOADS = {
+    "toy": (
+        students_toy,
+        toy_ranker,
+        "Ranked {rows} students by grade (the paper's Figure 1 running example).",
+    ),
+    "german_credit": (
+        german_credit_dataset,
+        german_credit_ranker,
+        "Ranked {rows} loan applicants by (black-box) creditworthiness.",
+    ),
+    "compas": (
+        compas_dataset,
+        compas_ranker,
+        "Ranked {rows} individuals by the combined normalised score of [4].",
+    ),
+    "student": (
+        student_dataset,
+        student_ranker,
+        "Ranked {rows} students by their final Math grade (G3).",
+    ),
+}
+
+
+def ranked_workload(
+    name: str,
+    n_attributes: int | None = None,
+    announce: bool = True,
+) -> tuple[Dataset, Ranking]:
+    """One example workload: the (synthetic) dataset and its black-box ranking.
+
+    ``n_attributes`` optionally projects the dataset onto its first attributes
+    (used to keep baseline comparisons quick); ``announce`` prints the
+    workload's one-line introduction.
+    """
+    try:
+        dataset_factory, ranker_factory, template = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown example workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        ) from None
+    dataset = dataset_factory()
+    if n_attributes is not None:
+        dataset = dataset.project(dataset.attribute_names[:n_attributes])
+    ranking = ranker_factory().rank(dataset)
+    if announce:
+        print(template.format(rows=dataset.n_rows))
+    return dataset, ranking
+
+
+def open_audit(
+    name: str,
+    n_attributes: int | None = None,
+    announce: bool = True,
+    **session_options,
+) -> tuple[Dataset, Ranking, AuditSession]:
+    """A ranked workload plus an open session over it (the caller closes it)."""
+    dataset, ranking = ranked_workload(name, n_attributes, announce)
+    return dataset, ranking, AuditSession(dataset, ranking, **session_options)

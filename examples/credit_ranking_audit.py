@@ -20,22 +20,20 @@ the library that go beyond the headline detection problem:
 
 from __future__ import annotations
 
-from repro import AuditSession, DetectionQuery, Pattern, ProportionalBoundSpec
+from _common import open_audit
+
+from repro import DetectionQuery, Pattern, ProportionalBoundSpec
 from repro.core import UpperBoundsDetector
-from repro.data.generators import german_credit_dataset
 from repro.explain import RankingExplainer, compare_distributions
-from repro.ranking import german_credit_ranker
 
 K_MIN, K_MAX = 10, 49
 TAU_S = 50
 
 
 def main() -> None:
-    dataset = german_credit_dataset()
-    ranking = german_credit_ranker().rank(dataset)
-    print(f"Ranked {dataset.n_rows} loan applicants by (black-box) creditworthiness.")
+    dataset, ranking, session = open_audit("german_credit")
 
-    with AuditSession(dataset, ranking) as session:
+    with session:
         # Under-representation, proportional to each group's share of the pool —
         # the paper's default alpha = 0.8, plus the stricter 0.95 audit bar.
         lenient, strict = session.run_many([

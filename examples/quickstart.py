@@ -18,19 +18,18 @@ the same ranked dataset a second question.
 
 from __future__ import annotations
 
-from repro import AuditSession, DetectionQuery, GlobalBoundSpec, ProportionalBoundSpec
-from repro.data.generators import students_toy
-from repro.ranking import toy_ranker
+from _common import open_audit
+
+from repro import DetectionQuery, GlobalBoundSpec, ProportionalBoundSpec
 
 
 def main() -> None:
-    dataset = students_toy()
-    ranker = toy_ranker()
+    dataset, ranking, session = open_audit("toy", announce=False)
 
-    with AuditSession(dataset, ranker) as session:
+    with session:
         print("Top-5 students (Figure 1 of the paper):")
         for rank in range(1, 6):
-            row = dataset.full_row(session.ranking.row_at_rank(rank))
+            row = dataset.full_row(ranking.row_at_rank(rank))
             print(f"  {rank}. {row}")
 
         # Two queries, one warm engine.  Problem 3.1 — global representation

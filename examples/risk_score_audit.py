@@ -18,12 +18,12 @@ et al. [4] — the setup of the paper's evaluation.  All detection queries share
 
 from __future__ import annotations
 
-from repro import AuditSession, DetectionQuery
+from _common import open_audit
+
+from repro import DetectionQuery
 from repro.core import paper_default_global_bounds
-from repro.data.generators import compas_dataset
 from repro.divergence import DivergenceDetector
 from repro.experiments import measure_run
-from repro.ranking import compas_ranker
 
 K_MIN, K_MAX = 10, 49
 TAU_S = 50
@@ -31,12 +31,10 @@ N_ATTRIBUTES = 10  # keep the baseline comparison quick; the detector scales fur
 
 
 def main() -> None:
-    dataset = compas_dataset().project(compas_dataset().attribute_names[:N_ATTRIBUTES])
-    ranking = compas_ranker().rank(dataset)
+    dataset, ranking, session = open_audit("compas", n_attributes=N_ATTRIBUTES)
     bound = paper_default_global_bounds()
-    print(f"Ranked {dataset.n_rows} individuals by the combined normalised score of [4].")
 
-    with AuditSession(dataset, ranking) as session:
+    with session:
         report = session.run(
             DetectionQuery(bound, tau_s=TAU_S, k_min=K_MIN, k_max=K_MAX)
         )

@@ -20,10 +20,10 @@ Math grade and publishes the top of the list.  The script
 
 from __future__ import annotations
 
-from repro import AuditSession, DetectionQuery, ProportionalBoundSpec
-from repro.data.generators import student_dataset
+from _common import open_audit
+
+from repro import DetectionQuery, ProportionalBoundSpec
 from repro.explain import RankingExplainer, compare_distributions
-from repro.ranking import student_ranker
 
 K_MIN, K_MAX = 10, 49
 TAU_S = 50
@@ -31,12 +31,10 @@ ALPHA = 0.8
 
 
 def main() -> None:
-    dataset = student_dataset()
-    ranking = student_ranker().rank(dataset)
-    print(f"Ranked {dataset.n_rows} students by their final Math grade (G3).")
+    dataset, ranking, session = open_audit("student")
 
     bound = ProportionalBoundSpec(alpha=ALPHA)
-    with AuditSession(dataset, ranking) as session:
+    with session:
         report = session.run(
             DetectionQuery(bound, tau_s=TAU_S, k_min=K_MIN, k_max=K_MAX)
         )

@@ -25,7 +25,10 @@ from repro.core import (
     Pattern,
     PropBoundsDetector,
     ProportionalBoundSpec,
+    QueryPlan,
+    ResultCache,
     detect_biased_groups,
+    plan_queries,
     run_queries,
 )
 from repro.data import Dataset, Schema
@@ -53,6 +56,9 @@ __all__ = [
     "DetectionQuery",
     "DetectionReport",
     "DetectionResult",
+    "QueryPlan",
+    "ResultCache",
+    "plan_queries",
     "detect_biased_groups",
     "run_queries",
 ]

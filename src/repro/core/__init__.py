@@ -25,6 +25,14 @@ from repro.core.global_bounds import GlobalBoundsDetector
 from repro.core.iter_td import IterTDDetector
 from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.pattern_graph import PatternCounter, SearchTree
+from repro.core.planner import (
+    PlanStep,
+    QueryPlan,
+    ResultCache,
+    canonical_query_key,
+    plan_queries,
+    query_group_key,
+)
 from repro.core.prop_bounds import PropBoundsDetector
 from repro.core.result_set import DetectedGroup, DetectionResult, MostGeneralSet, minimal_patterns
 from repro.core.serialization import (
@@ -57,6 +65,12 @@ __all__ = [
     "AuditSession",
     "DetectionQuery",
     "run_queries",
+    "QueryPlan",
+    "PlanStep",
+    "ResultCache",
+    "plan_queries",
+    "canonical_query_key",
+    "query_group_key",
     "BoundSpec",
     "GlobalBoundSpec",
     "ProportionalBoundSpec",

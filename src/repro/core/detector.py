@@ -164,14 +164,18 @@ class Detector(abc.ABC):
     @abc.abstractmethod
     def _run(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> dict[int, frozenset[Pattern]]:
-        """Compute the per-k most general biased patterns.
+    ) -> DetectionResult:
+        """Compute the per-k most general biased patterns for the full k range.
 
         ``search`` runs one full top-down search for a given (bound, k, tau_s) —
         in-process or fanned out over the parallel executor, depending on the
         :class:`~repro.core.engine.parallel.ExecutionConfig` in force.  Algorithms
         must route every full search through it (their *incremental* per-k steps
-        operate on the returned state in the calling process).
+        operate on the returned state in the calling process), and must assemble
+        their output through :class:`~repro.core.top_down.SweepAssembler` so the
+        returned :class:`DetectionResult` is range-sliceable: the session's query
+        planner runs detectors over *covering* k ranges and serves the individual
+        queries via :meth:`DetectionResult.restrict_k`.
         """
 
     def detect(

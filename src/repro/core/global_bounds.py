@@ -23,8 +23,9 @@ from repro.core.detector import DetectionParameters, Detector, SearchFn
 from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
+from repro.core.result_set import DetectionResult
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState
+from repro.core.top_down import SearchState, SweepAssembler
 from repro.exceptions import DetectionError
 
 
@@ -54,13 +55,13 @@ class GlobalBoundsDetector(Detector):
 
     def _run(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> dict[int, frozenset[Pattern]]:
+    ) -> DetectionResult:
         parameters = self.parameters
         bound = parameters.bound
-        per_k: dict[int, frozenset[Pattern]] = {}
+        sweep = SweepAssembler()
 
         state = search(bound, parameters.k_min, parameters.tau_s, stats)
-        per_k[parameters.k_min] = state.most_general()
+        sweep.record(parameters.k_min, state)
 
         for k in range(parameters.k_min + 1, parameters.k_max + 1):
             if bound.lower_changes_at(k, 0, counter.dataset_size):
@@ -68,8 +69,8 @@ class GlobalBoundsDetector(Detector):
                 state = search(bound, k, parameters.tau_s, stats)
             else:
                 self._incremental_step(counter, bound, state, k, stats)
-            per_k[k] = state.most_general()
-        return per_k
+            sweep.record(k, state)
+        return sweep.finish()
 
     def _incremental_step(
         self,

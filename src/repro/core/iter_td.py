@@ -17,9 +17,10 @@ from __future__ import annotations
 from repro.core.bounds import BoundSpec
 from repro.core.detector import DetectionParameters, Detector, SearchFn
 from repro.core.engine.parallel import ExecutionConfig
-from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
+from repro.core.result_set import DetectionResult
 from repro.core.stats import SearchStats
+from repro.core.top_down import SweepAssembler
 
 
 class IterTDDetector(Detector):
@@ -43,12 +44,12 @@ class IterTDDetector(Detector):
 
     def _run(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> dict[int, frozenset[Pattern]]:
+    ) -> DetectionResult:
         parameters = self.parameters
-        per_k: dict[int, frozenset[Pattern]] = {}
+        sweep = SweepAssembler()
         for k in parameters.k_range():
             # Only the most general patterns are consumed, so the parallel path
             # may return shard-minimal below sets instead of full classifications.
             state = search(parameters.bound, k, parameters.tau_s, stats, classification=False)
-            per_k[k] = state.most_general()
-        return per_k
+            sweep.record(k, state)
+        return sweep.finish()

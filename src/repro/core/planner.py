@@ -1,0 +1,388 @@
+"""Query planning and cross-query result reuse for batched detection.
+
+The paper's workloads are inherently multi-query: IterTD re-runs Algorithm 1 per
+``k``, and the evaluation figures sweep ``tau_s``, k ranges and bounds over one
+fixed ranking.  When such a batch reaches the session as individual
+:class:`DetectionQuery` values, executing each one as an isolated search wastes
+work in three distinct ways, each addressed by one layer of this module:
+
+* **Canonicalization + dedupe** — the same question asked twice (possibly through
+  ``algorithm="auto"`` vs its resolved name, or through structurally equal bound
+  objects) is recognised by :func:`canonical_query_key` and executed once.
+* **k-range merging** — queries that agree on ``(bound, tau_s, algorithm)`` and
+  whose k ranges overlap, nest or touch are folded into one *covering* k-sweep
+  (:func:`plan_queries`).  Every detector assembles its output through
+  :class:`~repro.core.top_down.SweepAssembler`, whose per-k sets are independent
+  of where the sweep started, so the covering run answers each constituent query
+  via :meth:`~repro.core.result_set.DetectionResult.restrict_k` bit-identically
+  to running it alone.
+* **Cross-query result reuse** — :class:`ResultCache` keeps finished covering
+  sweeps keyed by canonical query + dataset fingerprint and serves any later
+  query whose range is *contained* in a cached one, again by restriction.
+
+Plan steps are ordered by ``tau_s`` (ties by first appearance in the batch) so
+that the executor's per-``tau_s`` shard assignments and the engine's sibling
+block caches are reused back-to-back instead of being interleaved.
+
+The planner is pure — it never looks at the cache or the dataset — which keeps
+it unit-testable; the session owns cache lookups at execution time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.bounds import BoundSpec, GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.detector import DetectionParameters, Detector
+from repro.core.engine.parallel import ExecutionConfig
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.core.result_set import DetectionResult
+
+#: Algorithm names accepted by :class:`DetectionQuery`, mapped to detector classes.
+DETECTOR_CLASSES = {
+    "iter_td": IterTDDetector,
+    "global_bounds": GlobalBoundsDetector,
+    "prop_bounds": PropBoundsDetector,
+}
+
+#: Default number of covering sweeps a session's :class:`ResultCache` retains.
+DEFAULT_RESULT_CACHE_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class DetectionQuery:
+    """One detection question, as a frozen value.
+
+    ``algorithm`` is ``"auto"`` (GlobalBounds for pattern-independent bounds,
+    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or
+    ``"prop_bounds"`` — the same names the one-shot
+    :func:`~repro.core.session.detect_biased_groups` facade accepts.  Instances
+    carry no dataset or execution state, so the same query can be run against
+    many sessions (or stored alongside a saved report).
+    """
+
+    bound: BoundSpec
+    tau_s: int
+    k_min: int
+    k_max: int
+    algorithm: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.algorithm != "auto" and self.algorithm not in DETECTOR_CLASSES:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{sorted(DETECTOR_CLASSES)} or 'auto'"
+            )
+        # Reuse the parameter validation (tau_s >= 1, k_min >= 1, k_max >= k_min).
+        DetectionParameters(
+            bound=self.bound, tau_s=self.tau_s, k_min=self.k_min, k_max=self.k_max
+        )
+
+    def resolved_algorithm(self) -> str:
+        """The concrete algorithm name (``"auto"`` resolved against the bound)."""
+        if self.algorithm != "auto":
+            return self.algorithm
+        return "prop_bounds" if self.bound.pattern_dependent else "global_bounds"
+
+    def build_detector(self, execution: ExecutionConfig | None = None) -> Detector:
+        """Instantiate the detector this query asks for."""
+        detector_class = DETECTOR_CLASSES[self.resolved_algorithm()]
+        return detector_class(
+            bound=self.bound,
+            tau_s=self.tau_s,
+            k_min=self.k_min,
+            k_max=self.k_max,
+            execution=execution,
+        )
+
+
+# -- canonicalization ---------------------------------------------------------------
+def _bound_values_key(values) -> tuple | None:
+    """A hashable identity for one lower/upper bound field of a global bound."""
+    if values is None:
+        return None
+    if isinstance(values, Mapping):
+        return ("schedule", tuple(sorted((int(k), float(v)) for k, v in values.items())))
+    if callable(values):
+        # Callables have no structural identity; fall back to object identity
+        # (never a false merge — distinct objects never compare equal).
+        return ("callable", id(values))
+    return ("constant", float(values))
+
+
+def bound_key(bound: BoundSpec) -> tuple:
+    """A hashable canonical identity of a bound specification.
+
+    Structurally equal :class:`GlobalBoundSpec` / :class:`ProportionalBoundSpec`
+    instances map to equal keys, so distinct-but-equal bound objects merge.
+    Callable schedules and third-party :class:`BoundSpec` subclasses fall back to
+    object identity: only reusing the *same* bound object merges, which can miss
+    a merge but can never produce a false one.  Identity keys are only safe
+    while the keyed object is alive — holders of such keys (the plan, the
+    result cache) must keep a reference to the query whose bound produced them.
+    """
+    if isinstance(bound, GlobalBoundSpec):
+        return (
+            "global",
+            _bound_values_key(bound.lower_bounds),
+            _bound_values_key(bound.upper_bounds),
+        )
+    if isinstance(bound, ProportionalBoundSpec):
+        return (
+            "proportional",
+            float(bound.alpha),
+            None if bound.beta is None else float(bound.beta),
+        )
+    return ("opaque", type(bound).__qualname__, id(bound))
+
+
+def query_group_key(query: DetectionQuery) -> tuple:
+    """The canonical identity of a query *modulo its k range*.
+
+    Two queries with equal group keys ask the same question about different (or
+    equal) prefixes of the same ranking, so their sweeps may legally be merged
+    and their results may answer each other by k-range containment.
+    """
+    return (bound_key(query.bound), query.tau_s, query.resolved_algorithm())
+
+
+def canonical_query_key(query: DetectionQuery) -> tuple:
+    """The full canonical identity of a query (group key + k range).
+
+    Queries with equal canonical keys are exact repeats — ``algorithm="auto"``
+    is resolved first, so an auto query and its explicitly named twin dedupe.
+    """
+    return (query_group_key(query), query.k_min, query.k_max)
+
+
+# -- plans --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanStep:
+    """One covering k-sweep of a query plan.
+
+    ``query`` is the (possibly widened) query actually executed; ``serves`` holds
+    the indices of the input batch answered by this step, in input order.
+    ``merged_ranges`` counts the distinct k ranges folded into the covering range
+    beyond the first; ``deduped_queries`` counts the exact-repeat inputs absorbed.
+    """
+
+    query: DetectionQuery
+    group_key: tuple = field(repr=False)
+    serves: tuple[int, ...]
+    merged_ranges: int = 0
+    deduped_queries: int = 0
+
+    @property
+    def primary_index(self) -> int:
+        """The first input-batch index served — the query that pays for the run."""
+        return self.serves[0]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The execution plan of one query batch.
+
+    ``steps`` are in execution order (ascending ``tau_s``, ties by first
+    appearance in the batch), so same-``tau_s`` sweeps run back-to-back against
+    warm per-``tau_s`` shard assignments and block caches.  ``step_of`` maps each
+    input index to the position of the step that serves it.
+    """
+
+    queries: tuple[DetectionQuery, ...]
+    steps: tuple[PlanStep, ...]
+
+    @property
+    def step_of(self) -> dict[int, int]:
+        return {
+            index: position
+            for position, step in enumerate(self.steps)
+            for index in step.serves
+        }
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def deduped_queries(self) -> int:
+        """Input queries absorbed as exact repeats of another input."""
+        return sum(step.deduped_queries for step in self.steps)
+
+    @property
+    def merged_ranges(self) -> int:
+        """Distinct canonical queries absorbed by k-range merging."""
+        return sum(step.merged_ranges for step in self.steps)
+
+    def describe(self) -> str:
+        lines = [
+            f"plan: {self.n_queries} queries -> {self.n_steps} steps "
+            f"({self.deduped_queries} deduped, {self.merged_ranges} ranges merged)"
+        ]
+        for position, step in enumerate(self.steps):
+            query = step.query
+            lines.append(
+                f"  step {position}: {query.resolved_algorithm()} tau_s={query.tau_s} "
+                f"k=[{query.k_min}, {query.k_max}] serves {list(step.serves)}"
+            )
+        return "\n".join(lines)
+
+
+def plan_queries(queries: Sequence[DetectionQuery]) -> QueryPlan:
+    """Plan a batch of queries into deduplicated, merged, ``tau_s``-ordered steps.
+
+    The plan is pure: it depends only on the queries, never on the dataset or any
+    cache state.  Guarantees:
+
+    * every input index is served by exactly one step;
+    * a step's covering range is the union of the (overlapping, nested or
+      adjacent) ranges it absorbed — gaps are never bridged, so a step never
+      computes a ``k`` no input asked for;
+    * steps are sorted by ``tau_s`` first, then by the first appearance of any
+      served query, so planning is deterministic and batch-order independent for
+      the work performed.
+    """
+    queries = tuple(queries)
+    # 1. Dedupe exact repeats (canonical key: resolved algorithm + bound identity).
+    by_canonical: "OrderedDict[tuple, list[int]]" = OrderedDict()
+    for index, query in enumerate(queries):
+        by_canonical.setdefault(canonical_query_key(query), []).append(index)
+
+    # 2. Group the distinct queries by (bound, tau_s, algorithm) and merge ranges.
+    by_group: "OrderedDict[tuple, list[tuple[int, int, list[int]]]]" = OrderedDict()
+    for (group_key, k_min, k_max), indices in by_canonical.items():
+        by_group.setdefault(group_key, []).append((k_min, k_max, indices))
+
+    steps: list[PlanStep] = []
+    for group_key, ranges in by_group.items():
+        ranges = sorted(ranges, key=lambda entry: (entry[0], entry[1]))
+        position = 0
+        while position < len(ranges):
+            k_min, k_max, indices = ranges[position]
+            served = list(indices)
+            deduped = len(indices) - 1
+            merged = 0
+            position += 1
+            # Extend the covering range while the next range overlaps, nests or
+            # touches it (k_min' <= k_max + 1): the union stays gap-free.
+            while position < len(ranges) and ranges[position][0] <= k_max + 1:
+                next_min, next_max, next_indices = ranges[position]
+                k_max = max(k_max, next_max)
+                served.extend(next_indices)
+                deduped += len(next_indices) - 1
+                merged += 1
+                position += 1
+            representative = queries[served[0]]
+            covering = DetectionQuery(
+                bound=representative.bound,
+                tau_s=representative.tau_s,
+                k_min=k_min,
+                k_max=k_max,
+                algorithm=representative.resolved_algorithm(),
+            )
+            steps.append(
+                PlanStep(
+                    query=covering,
+                    group_key=group_key,
+                    serves=tuple(sorted(served)),
+                    merged_ranges=merged,
+                    deduped_queries=deduped,
+                )
+            )
+
+    # 3. Execution order: ascending tau_s, ties by first appearance in the batch,
+    # so the executor's per-tau_s shard assignments are reused back-to-back.
+    steps.sort(key=lambda step: (step.query.tau_s, min(step.serves)))
+    return QueryPlan(queries=queries, steps=tuple(steps))
+
+
+# -- cross-query result reuse -------------------------------------------------------
+@dataclass
+class _CacheEntry:
+    """One cached covering sweep.  Holding ``query`` keeps identity-keyed bounds
+    alive, so their ``id``-based keys can never be reused by a new object."""
+
+    query: DetectionQuery
+    result: DetectionResult
+
+
+class ResultCache:
+    """LRU cache of covering k-sweep results with containment-based hits.
+
+    Entries are keyed by the canonical query (group key + covering k range) plus
+    the dataset fingerprint, so a cache can only ever answer queries about the
+    exact dataset whose sweeps it stores.  A lookup for ``[k_min, k_max]`` hits
+    any entry of the same group whose range *contains* it — the caller slices
+    the returned covering result down with
+    :meth:`~repro.core.result_set.DetectionResult.restrict_k`.
+
+    Inserting a sweep that contains an existing entry of the same group replaces
+    it (the wider sweep answers strictly more queries at the same storage cost).
+    ``capacity`` bounds the number of retained sweeps; zero disables the cache.
+    """
+
+    def __init__(self, fingerprint: str, capacity: int = DEFAULT_RESULT_CACHE_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError("the result-cache capacity cannot be negative")
+        self._fingerprint = fingerprint
+        self._capacity = capacity
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        #: Containment hits / misses / insertions / LRU evictions, session-wide.
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _key(self, group_key: tuple, k_min: int, k_max: int) -> tuple:
+        return (self._fingerprint, group_key, k_min, k_max)
+
+    def lookup(self, group_key: tuple, k_min: int, k_max: int) -> DetectionResult | None:
+        """The cached covering result for ``[k_min, k_max]``, or ``None``.
+
+        The returned result may cover a wider range than asked; restrict it.
+        """
+        for key, entry in self._entries.items():
+            entry_fingerprint, entry_group, entry_min, entry_max = key
+            if entry_group == group_key and entry_min <= k_min and k_max <= entry_max:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry.result
+        self.misses += 1
+        return None
+
+    def insert(self, group_key: tuple, query: DetectionQuery, result: DetectionResult) -> None:
+        """Cache the finished covering sweep of ``query`` under its canonical key."""
+        if self._capacity == 0:
+            return
+        # Drop same-group entries the new sweep subsumes (contained ranges).
+        subsumed = [
+            key
+            for key in self._entries
+            if key[1] == group_key and query.k_min <= key[2] and key[3] <= query.k_max
+        ]
+        for key in subsumed:
+            del self._entries[key]
+        self._entries[self._key(group_key, query.k_min, query.k_max)] = _CacheEntry(
+            query=query, result=result
+        )
+        self.insertions += 1
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -28,8 +28,9 @@ from repro.core.detector import DetectionParameters, Detector, SearchFn
 from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
+from repro.core.result_set import DetectionResult
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState
+from repro.core.top_down import SearchState, SweepAssembler
 
 
 class PropBoundsDetector(Detector):
@@ -59,10 +60,10 @@ class PropBoundsDetector(Detector):
 
     def _run(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> dict[int, frozenset[Pattern]]:
+    ) -> DetectionResult:
         parameters = self.parameters
         bound = parameters.bound
-        per_k: dict[int, frozenset[Pattern]] = {}
+        sweep = SweepAssembler()
 
         state = search(bound, parameters.k_min, parameters.tau_s, stats)
         # k-tilde bookkeeping: schedule[k] is the set of expanded patterns whose
@@ -72,12 +73,12 @@ class PropBoundsDetector(Detector):
         for pattern, count in state.expanded.items():
             self._schedule(bound, state, schedule, k_tilde_of, pattern, count, parameters.k_min,
                            counter.dataset_size, stats)
-        per_k[parameters.k_min] = state.most_general()
+        sweep.record(parameters.k_min, state)
 
         for k in range(parameters.k_min + 1, parameters.k_max + 1):
             self._incremental_step(counter, bound, state, schedule, k_tilde_of, k, stats)
-            per_k[k] = state.most_general()
-        return per_k
+            sweep.record(k, state)
+        return sweep.finish()
 
     # -- k-tilde bookkeeping ---------------------------------------------------
     def _schedule(

@@ -16,6 +16,7 @@ from math import comb
 from typing import Iterable, Iterator, Mapping
 
 from repro.core.pattern import Pattern
+from repro.exceptions import DetectionError
 
 
 class MostGeneralSet:
@@ -42,6 +43,17 @@ class MostGeneralSet:
         self._patterns = {member for member in self._patterns if not pattern.is_proper_subset_of(member)}
         self._patterns.add(pattern)
         return True
+
+    def copy(self) -> "MostGeneralSet":
+        """An independent copy: later ``add``/``discard`` calls on either set never
+        show through to the other.  Callers assembling per-k sweeps from live
+        antichains snapshot them with this before mutating further; the result
+        cache itself needs no copies — :class:`DetectionResult` freezes its
+        inputs at construction and :meth:`DetectionResult.restrict_k` slices
+        only immutable sets."""
+        duplicate = MostGeneralSet()
+        duplicate._patterns = set(self._patterns)
+        return duplicate
 
     def discard(self, pattern: Pattern) -> None:
         self._patterns.discard(pattern)
@@ -189,6 +201,31 @@ class DetectionResult(Mapping[int, frozenset[Pattern]]):
     def groups_at(self, k: int) -> frozenset[Pattern]:
         """The detected groups at ``k`` (empty set if ``k`` was not searched)."""
         return self._per_k.get(k, frozenset())
+
+    def covers(self, k_min: int, k_max: int) -> bool:
+        """Whether every ``k`` in ``[k_min, k_max]`` has a recorded result set."""
+        return all(k in self._per_k for k in range(k_min, k_max + 1))
+
+    def restrict_k(self, k_min: int, k_max: int) -> "DetectionResult":
+        """The sub-result for ``k`` in ``[k_min, k_max]`` of this (wider) sweep.
+
+        This is the slicing primitive behind the session result cache and the
+        planner's merged k-sweeps: a sweep computed for a covering range answers
+        any nested query by restriction, bit-identically to running that query
+        alone.  The returned result is independent of this one — per-k sets are
+        rebuilt, so cached sweeps are never aliased by the slices handed out
+        (:class:`MostGeneralSet` inputs are likewise copied at construction).
+        """
+        if k_min > k_max:
+            raise DetectionError(f"restrict_k needs k_min <= k_max, got [{k_min}, {k_max}]")
+        if not self.covers(k_min, k_max):
+            raise DetectionError(
+                f"cannot restrict to [{k_min}, {k_max}]: this result only covers "
+                f"ks {list(self._per_k)}"
+            )
+        return DetectionResult(
+            {k: frozenset(self._per_k[k]) for k in range(k_min, k_max + 1)}
+        )
 
     def all_groups(self) -> frozenset[Pattern]:
         """Union of the detected groups over every ``k``."""

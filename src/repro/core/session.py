@@ -21,9 +21,24 @@ infrastructure warm across queries:
   query, and the per-``tau_s`` shard assignments pin each root subtree to its
   home worker *across queries*, so worker block caches stay hot for the whole
   session;
-* per-query stats isolation: every :meth:`run` gets its own
-  :class:`~repro.core.stats.SearchStats`, with engine counters attributed through
-  snapshot deltas.
+* a **query planner** (:mod:`repro.core.planner`): :meth:`run_many` does not
+  replay its batch query-by-query — exact repeats are deduped, queries that
+  agree on ``(bound, tau_s, algorithm)`` with overlapping/nested/adjacent k
+  ranges are merged into one covering k-sweep, and the resulting plan steps are
+  ordered by ``tau_s`` so per-``tau_s`` shard assignments and sibling-block
+  caches are reused back-to-back (:meth:`run` is simply a one-query plan);
+* a **result cache** (:class:`~repro.core.planner.ResultCache`): finished
+  covering sweeps are kept, keyed by canonical query +
+  :meth:`~repro.data.dataset.Dataset.fingerprint`, and any later query whose k
+  range is contained in a cached sweep is answered by
+  :meth:`~repro.core.result_set.DetectionResult.restrict_k` without running a
+  single search;
+* per-query stats isolation: every served query gets its own
+  :class:`~repro.core.stats.SearchStats`, with engine counters attributed
+  through snapshot deltas.  Summing any engine counter over a batch's reports
+  equals the engine work actually performed: plan-merged and cache-served
+  queries report ``result_cache_hits`` / ``result_cache_misses`` /
+  ``plan_merged_queries`` instead of duplicated engine counters.
 
 Queries are first-class values — a frozen :class:`DetectionQuery` names the bound,
 ``tau_s``, the k range and the algorithm, so query sets can be built, stored and
@@ -33,13 +48,13 @@ bit-identical by construction) and stays serial from then on; the event is
 recorded as ``executor_reattach`` on the query's stats.
 
 The one-shot API is a thin wrapper over a single-query session, so both paths
-return bit-identical reports.
+return bit-identical reports — the planner and cache change how often searches
+run, never what any query reports.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -47,69 +62,30 @@ import numpy as np
 from repro.core.bounds import BoundSpec
 from repro.core.detector import DetectionParameters, DetectionReport, Detector
 from repro.core.engine.parallel import ExecutionConfig, create_parallel_executor
-from repro.core.global_bounds import GlobalBoundsDetector
-from repro.core.iter_td import IterTDDetector
 from repro.core.pattern_graph import PatternCounter
-from repro.core.prop_bounds import PropBoundsDetector
+from repro.core.planner import (
+    DEFAULT_RESULT_CACHE_CAPACITY,
+    DETECTOR_CLASSES,
+    DetectionQuery,
+    PlanStep,
+    QueryPlan,
+    ResultCache,
+    plan_queries,
+)
+from repro.core.result_set import DetectionResult
 from repro.core.stats import SearchStats
 from repro.core.top_down import top_down_search
 from repro.data.dataset import Dataset
 from repro.exceptions import DetectionError, ExecutorBrokenError
 from repro.ranking.base import Ranker, Ranking
 
-#: Algorithm names accepted by :class:`DetectionQuery`, mapped to detector classes.
-DETECTOR_CLASSES = {
-    "iter_td": IterTDDetector,
-    "global_bounds": GlobalBoundsDetector,
-    "prop_bounds": PropBoundsDetector,
-}
-
-
-@dataclass(frozen=True)
-class DetectionQuery:
-    """One detection question, as a frozen value.
-
-    ``algorithm`` is ``"auto"`` (GlobalBounds for pattern-independent bounds,
-    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or
-    ``"prop_bounds"`` — the same names the one-shot
-    :func:`~repro.core.detect_biased_groups` facade accepts.  Instances carry no
-    dataset or execution state, so the same query can be run against many
-    sessions (or stored alongside a saved report).
-    """
-
-    bound: BoundSpec
-    tau_s: int
-    k_min: int
-    k_max: int
-    algorithm: str = "auto"
-
-    def __post_init__(self) -> None:
-        if self.algorithm != "auto" and self.algorithm not in DETECTOR_CLASSES:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; expected one of "
-                f"{sorted(DETECTOR_CLASSES)} or 'auto'"
-            )
-        # Reuse the parameter validation (tau_s >= 1, k_min >= 1, k_max >= k_min).
-        DetectionParameters(
-            bound=self.bound, tau_s=self.tau_s, k_min=self.k_min, k_max=self.k_max
-        )
-
-    def resolved_algorithm(self) -> str:
-        """The concrete algorithm name (``"auto"`` resolved against the bound)."""
-        if self.algorithm != "auto":
-            return self.algorithm
-        return "prop_bounds" if self.bound.pattern_dependent else "global_bounds"
-
-    def build_detector(self, execution: ExecutionConfig | None = None) -> Detector:
-        """Instantiate the detector this query asks for."""
-        detector_class = DETECTOR_CLASSES[self.resolved_algorithm()]
-        return detector_class(
-            bound=self.bound,
-            tau_s=self.tau_s,
-            k_min=self.k_min,
-            k_max=self.k_max,
-            execution=execution,
-        )
+__all__ = [
+    "DETECTOR_CLASSES",
+    "DetectionQuery",
+    "AuditSession",
+    "detect_biased_groups",
+    "run_queries",
+]
 
 
 class AuditSession:
@@ -131,6 +107,10 @@ class AuditSession:
         reference counter for parity runs.  Must have been built over the same
         dataset and ranking (validated cheaply via
         :meth:`~repro.data.dataset.Dataset.fingerprint`).
+    result_cache_capacity:
+        How many finished covering k-sweeps the session retains for
+        containment-based reuse (:class:`~repro.core.planner.ResultCache`);
+        ``0`` disables cross-query result reuse (every plan step executes).
 
     Use as a context manager, or call :meth:`close` explicitly to shut the worker
     pool down; :meth:`close` is idempotent and reports remain readable after it.
@@ -142,6 +122,7 @@ class AuditSession:
         ranking: Ranking | Ranker,
         execution: ExecutionConfig | None = None,
         counter: PatternCounter | None = None,
+        result_cache_capacity: int = DEFAULT_RESULT_CACHE_CAPACITY,
     ) -> None:
         self._execution = execution if execution is not None else ExecutionConfig()
         if isinstance(ranking, Ranker):
@@ -163,6 +144,11 @@ class AuditSession:
         self._dataset = dataset
         self._ranking = ranking
         self._counter = counter
+        # The result cache is created lazily on the first planned query: its key
+        # space includes the dataset fingerprint, and hashing the dataset is
+        # wasted work for sessions that only ever call run_detector.
+        self._result_cache_capacity = result_cache_capacity
+        self._result_cache: ResultCache | None = None
         self._executor = None
         # Once the parallel path proved unavailable (restricted platform,
         # non-engine counter) or lost a worker, stay serial: respawning on every
@@ -195,6 +181,15 @@ class AuditSession:
         return self._queries_run
 
     @property
+    def result_cache(self) -> ResultCache:
+        """The session's cross-query result cache (created lazily)."""
+        if self._result_cache is None:
+            self._result_cache = ResultCache(
+                self._dataset.fingerprint(), self._result_cache_capacity
+            )
+        return self._result_cache
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -212,37 +207,127 @@ class AuditSession:
 
         Results are bit-identical to the one-shot
         :func:`~repro.core.detect_biased_groups` call with the same arguments;
-        only the serving cost differs (warm caches, shared executor).
+        only the serving cost differs (warm caches, shared executor, and — when
+        the session already ran a containing sweep — the result cache).  This is
+        literally a one-query plan through :meth:`run_many`.
         """
-        detector = query.build_detector(self._execution)
-        report = self.run_detector(detector)
-        report.query = query
-        return report
+        return self.run_many([query])[0]
 
     def run_many(self, queries: Iterable[DetectionQuery]) -> list[DetectionReport]:
-        """Run several queries through the shared engine and pool, in order.
+        """Plan and run a batch of queries; reports come back in input order.
 
-        Batching queries through one session is what keeps the executor's
-        root-subtree shards pinned to their home workers *across* queries: the
-        per-``tau_s`` shard assignment is computed once and every query that
-        shares a ``tau_s`` re-counts exactly the blocks its workers already
-        cached.
+        The batch goes through :func:`~repro.core.planner.plan_queries` first:
+        exact repeats execute once, same-``(bound, tau_s, algorithm)`` queries
+        with overlapping or nested k ranges execute as one covering k-sweep, and
+        the surviving steps run in ascending ``tau_s`` order so the executor's
+        per-``tau_s`` shard assignments and the engine's block caches are reused
+        back-to-back.  Finished sweeps land in the session's
+        :class:`~repro.core.planner.ResultCache`; any step (now or in a later
+        batch) whose range is contained in a cached sweep is answered by
+        :meth:`~repro.core.result_set.DetectionResult.restrict_k` without
+        touching the engine.  Every report is bit-identical to a cold
+        per-query run; the serving provenance shows up on its stats as
+        ``result_cache_hits`` / ``result_cache_misses`` /
+        ``plan_merged_queries``.
         """
-        return [self.run(query) for query in queries]
+        if self._closed:
+            raise DetectionError("the audit session has been closed")
+        batch = list(queries)
+        for query in batch:
+            self._parameters_for(query).validate_for(self._dataset)
+        plan = plan_queries(batch)
+        reports: list[DetectionReport | None] = [None] * len(batch)
+        for step in plan.steps:
+            self._run_step(plan, step, reports)
+        self._queries_run += len(batch)
+        return reports
 
     def run_detector(self, detector: Detector) -> DetectionReport:
         """Run an arbitrary :class:`~repro.core.detector.Detector` instance.
 
         This is the escape hatch for detectors outside the query registry (e.g.
         :class:`~repro.core.upper_bounds.UpperBoundsDetector`, or a user-defined
-        subclass): the detector's own parameters are used, the session supplies
-        the warm counter and — when the detector runs full searches — the shared
-        executor.  The one-shot :meth:`Detector.detect` is implemented as a
-        single-query session calling this method.
+        subclass): the detector's own problem parameters (bound, ``tau_s``, k
+        range) are used, while the session supplies the warm counter and — when
+        the detector runs full searches — the shared executor, so parallelism is
+        governed by the *session's* :class:`ExecutionConfig`, not by whatever
+        ``execution`` the detector was constructed with.  Arbitrary detectors
+        have no canonical form, so this path bypasses the planner and the result
+        cache.  The one-shot :meth:`Detector.detect` is implemented as a
+        single-query session calling this method (it opens the session with the
+        detector's own execution config, which is how the two stay consistent).
         """
         if self._closed:
             raise DetectionError("the audit session has been closed")
         detector.parameters.validate_for(self._dataset)
+        result, stats = self._execute(detector)
+        self._queries_run += 1
+        return DetectionReport(detector.name, detector.parameters, result, stats, self._counter)
+
+    # -- internals ---------------------------------------------------------------
+    def _parameters_for(self, query: DetectionQuery) -> DetectionParameters:
+        return DetectionParameters(
+            bound=query.bound,
+            tau_s=query.tau_s,
+            k_min=query.k_min,
+            k_max=query.k_max,
+            execution=self._execution,
+        )
+
+    def _run_step(
+        self,
+        plan: QueryPlan,
+        step: PlanStep,
+        reports: list[DetectionReport | None],
+    ) -> None:
+        """Serve every query of one plan step (from the cache or one real sweep)."""
+        cache = self.result_cache
+        covering = cache.lookup(step.group_key, step.query.k_min, step.query.k_max)
+        algorithm = DETECTOR_CLASSES[step.query.resolved_algorithm()].name
+        served = list(step.serves)
+        if covering is None:
+            # Cache miss: run the covering sweep once.  The primary query (first
+            # of the step in batch order) carries the sweep's real engine
+            # counters; everything else it serves is accounted as a cache hit,
+            # so summing any engine counter over the batch's reports still
+            # equals the work the engine actually performed.
+            detector = step.query.build_detector(self._execution)
+            covering, stats = self._execute(detector)
+            cache.insert(step.group_key, step.query, covering)
+            stats.result_cache_misses += 1
+            stats.plan_merged_queries += len(step.serves) - 1
+            primary = step.primary_index
+            reports[primary] = self._assemble_report(
+                plan.queries[primary], algorithm, covering, stats
+            )
+            served.remove(primary)
+        for index in served:
+            started = time.perf_counter()
+            stats = SearchStats()
+            stats.result_cache_hits += 1
+            report = self._assemble_report(plan.queries[index], algorithm, covering, stats)
+            report.stats.elapsed_seconds = time.perf_counter() - started
+            reports[index] = report
+
+    def _assemble_report(
+        self,
+        query: DetectionQuery,
+        algorithm: str,
+        covering: DetectionResult,
+        stats: SearchStats,
+    ) -> DetectionReport:
+        """A per-query report carved out of a (possibly wider) covering sweep."""
+        result = covering
+        if covering.k_values != tuple(range(query.k_min, query.k_max + 1)):
+            result = covering.restrict_k(query.k_min, query.k_max)
+        report = DetectionReport(
+            algorithm, self._parameters_for(query), result, stats, self._counter
+        )
+        report.query = query
+        return report
+
+    def _execute(self, detector: Detector) -> tuple[DetectionResult, SearchStats]:
+        """Run ``detector`` over the warm counter (and executor) with fresh stats."""
         counter = self._counter
         stats = SearchStats()
         # A warm counter carries cumulative instrumentation; snapshot it so the
@@ -253,7 +338,7 @@ class AuditSession:
         started = time.perf_counter()
         executor = self._ensure_executor(detector, stats)
         try:
-            per_k = self._run_with(detector, stats, executor)
+            result = self._run_with(detector, stats, executor)
         except ExecutorBrokenError:
             # A worker died mid-query: drop the pool, reattach to the serial
             # in-process path and re-run this query from scratch.  Fresh stats and
@@ -273,18 +358,12 @@ class AuditSession:
             stats.extra.update(lifecycle)
             stats.bump("executor_reattach")
             baseline = self._stats_baseline()
-            per_k = self._run_with(detector, stats, executor=None)
+            result = self._run_with(detector, stats, executor=None)
         stats.elapsed_seconds = time.perf_counter() - started
         publish = getattr(counter, "publish_stats", None)
         if publish is not None:
             publish(stats, since=baseline)
-        self._queries_run += 1
-        from repro.core.result_set import DetectionResult
-
-        result = DetectionResult(per_k)
-        return DetectionReport(detector.name, detector.parameters, result, stats, counter)
-
-    # -- internals ---------------------------------------------------------------
+        return result, stats
     def _stats_baseline(self):
         snapshot = getattr(self._counter, "stats_snapshot", None)
         return snapshot() if snapshot is not None else None

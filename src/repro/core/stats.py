@@ -40,6 +40,15 @@ class SearchStats:
     sparse_masks: int = 0
     #: Dense→sparse representation switches along parent/child chains.
     representation_switches: int = 0
+    #: Session result-cache hits: this query was answered by slicing a cached
+    #: covering k-sweep instead of running any search.
+    result_cache_hits: int = 0
+    #: Session result-cache misses: the query (or its covering plan step) had to
+    #: execute a real sweep before the cache could serve it.
+    result_cache_misses: int = 0
+    #: Queries the planner folded into this run's covering k-sweep beyond the one
+    #: reported here (exact duplicates plus merged overlapping/nested k-ranges).
+    plan_merged_queries: int = 0
     #: Wall-clock seconds, filled in by the experiment harness when timing runs.
     elapsed_seconds: float = 0.0
     #: Free-form counters for algorithm-specific events (e.g. k-tilde reschedules).
@@ -88,6 +97,9 @@ class SearchStats:
             "dense_masks": self.dense_masks,
             "sparse_masks": self.sparse_masks,
             "representation_switches": self.representation_switches,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "plan_merged_queries": self.plan_merged_queries,
             "elapsed_seconds": self.elapsed_seconds,
         }
         flat.update(self.extra)

@@ -33,7 +33,7 @@ from typing import Callable
 from repro.core.bounds import BoundSpec
 from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.pattern_graph import PatternCounter
-from repro.core.result_set import minimal_patterns
+from repro.core.result_set import DetectionResult, minimal_patterns
 from repro.core.stats import SearchStats
 
 
@@ -73,6 +73,36 @@ class SearchState:
         self.expanded.update(other.expanded)
         self.sizes.update(other.sizes)
         return self
+
+
+class SweepAssembler:
+    """Shared per-k result assembly of one (possibly covering) k-sweep.
+
+    Every detector records its per-k output here instead of building an ad-hoc
+    ``dict``: :meth:`record` snapshots the most general below-bound patterns of a
+    search state at ``k``, :meth:`finish` wraps the recorded range into a
+    :class:`~repro.core.result_set.DetectionResult`.  Because each algorithm's
+    per-k set equals what a fresh Algorithm-1 search at that ``k`` reports, a
+    sweep recorded for a covering range ``[k_min, k_max]`` answers any nested
+    sub-range query through :meth:`DetectionResult.restrict_k` bit-identically to
+    running that query alone — the invariant the query planner's merged plans and
+    the session result cache's containment hits rely on.
+    """
+
+    def __init__(self) -> None:
+        self._per_k: dict[int, frozenset[Pattern]] = {}
+
+    def record(self, k: int, state: SearchState) -> None:
+        """Snapshot the most general below-bound patterns of ``state`` at ``k``."""
+        self._per_k[k] = state.most_general()
+
+    def record_patterns(self, k: int, patterns) -> None:
+        """Record an explicitly assembled pattern set (non-search detectors)."""
+        self._per_k[k] = frozenset(patterns)
+
+    def finish(self) -> DetectionResult:
+        """The recorded sweep as a range-sliceable :class:`DetectionResult`."""
+        return DetectionResult(self._per_k)
 
 
 def constant_lower_bound(bound: BoundSpec, k: int, dataset_size: int) -> float | None:

@@ -21,8 +21,9 @@ from repro.core.detector import DetectionParameters, Detector, SearchFn
 from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.pattern_graph import PatternCounter
-from repro.core.result_set import minimal_patterns
+from repro.core.result_set import DetectionResult, minimal_patterns
 from repro.core.stats import SearchStats
+from repro.core.top_down import SweepAssembler
 from repro.exceptions import DetectionError
 
 
@@ -116,12 +117,12 @@ class UpperBoundsDetector(Detector):
 
     def _run(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> dict[int, frozenset[Pattern]]:
+    ) -> DetectionResult:
         parameters = self.parameters
         bound = parameters.bound
         dataset_size = counter.dataset_size
         candidates = most_specific_substantial(counter, parameters.tau_s, stats)
-        per_k: dict[int, frozenset[Pattern]] = {}
+        sweep = SweepAssembler()
         for k in parameters.k_range():
             violating = set()
             for pattern, size in candidates.items():
@@ -129,8 +130,8 @@ class UpperBoundsDetector(Detector):
                 stats.nodes_evaluated += 1
                 if bound.violates_upper(count, k, size, dataset_size):
                     violating.add(pattern)
-            per_k[k] = frozenset(violating)
-        return per_k
+            sweep.record_patterns(k, violating)
+        return sweep.finish()
 
 
 def most_general_above_upper(

@@ -84,6 +84,12 @@ def measure_run(
     ranking) pair; the run is then served by the session's warm engine (and
     shared worker pool, if any) instead of paying the one-shot setup cost.  The
     per-k result sets are bit-identical either way.
+
+    Measurements go through :meth:`AuditSession.run_detector`, which bypasses
+    the query planner and the session result cache by design: a *measured* run
+    must actually execute, never be answered by slicing an earlier sweep —
+    otherwise k-range and threshold sweeps over one warm session would report
+    near-zero runtimes for every contained configuration.
     """
     try:
         algorithm_key = ALGORITHM_KEYS[algorithm]
@@ -97,7 +103,8 @@ def measure_run(
     started = time.perf_counter()
     if session is None:
         with AuditSession(dataset, ranking) as one_shot:
-            report = one_shot.run(query)
+            report = one_shot.run_detector(query.build_detector(one_shot.execution))
+            report.query = query
     else:
         if not session.dataset.same_data(dataset):
             raise ExperimentError("the supplied session was opened over a different dataset")
@@ -105,7 +112,8 @@ def measure_run(
             session.ranking.order, ranking.order
         ):
             raise ExperimentError("the supplied session was opened over a different ranking")
-        report = session.run(query)
+        report = session.run_detector(query.build_detector(session.execution))
+        report.query = query
     elapsed = time.perf_counter() - started
     return RunMeasurement(
         algorithm=algorithm,

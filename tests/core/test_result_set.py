@@ -39,6 +39,16 @@ class TestMostGeneralSet:
         antichain.discard(Pattern({"a": 1}))
         assert len(antichain) == 0
 
+    def test_copy_is_independent(self):
+        original = MostGeneralSet([Pattern({"a": 1}), Pattern({"b": 2})])
+        duplicate = original.copy()
+        assert duplicate.as_frozenset() == original.as_frozenset()
+        duplicate.add(Pattern({"c": 3}))
+        original.discard(Pattern({"a": 1}))
+        assert Pattern({"c": 3}) not in original
+        assert Pattern({"a": 1}) in duplicate
+        assert len(original) == 1 and len(duplicate) == 3
+
 
 class TestMinimalPatterns:
     def test_keeps_only_minimal_elements(self):
@@ -127,3 +137,45 @@ class TestDetectionResult:
         empty = DetectionResult({})
         assert empty.total_reported() == 0
         assert empty.max_groups_per_k() == 0
+
+    def test_covers(self):
+        sweep = DetectionResult({k: [] for k in range(5, 11)})
+        assert sweep.covers(5, 10)
+        assert sweep.covers(7, 7)
+        assert not sweep.covers(4, 10)
+        assert not sweep.covers(5, 11)
+        gappy = DetectionResult({5: [], 7: []})
+        assert not gappy.covers(5, 7)
+
+    def test_restrict_k_slices_a_covering_sweep(self):
+        sweep = DetectionResult(
+            {k: [Pattern({"a": 1})] if k % 2 else [] for k in range(2, 9)}
+        )
+        sliced = sweep.restrict_k(3, 6)
+        assert sliced.k_values == (3, 4, 5, 6)
+        for k in sliced.k_values:
+            assert sliced[k] == sweep[k]
+        # Restriction to the full range reproduces the sweep exactly.
+        assert sweep.restrict_k(2, 8) == sweep
+
+    def test_restrict_k_rejects_uncovered_ranges(self):
+        from repro.exceptions import DetectionError
+
+        sweep = DetectionResult({k: [] for k in range(5, 11)})
+        with pytest.raises(DetectionError):
+            sweep.restrict_k(4, 8)
+        with pytest.raises(DetectionError):
+            sweep.restrict_k(8, 12)
+        with pytest.raises(DetectionError):
+            sweep.restrict_k(9, 8)
+
+    def test_restrict_k_never_aliases_mutable_inputs(self):
+        """A result sliced out of a sweep built from MostGeneralSet values stays
+        stable if the originating sets are mutated afterwards."""
+        live = MostGeneralSet([Pattern({"a": 1})])
+        sweep = DetectionResult({5: live, 6: live.copy()})
+        sliced = sweep.restrict_k(5, 6)
+        live.add(Pattern({"b": 2}))
+        live.discard(Pattern({"a": 1}))
+        assert sliced[5] == frozenset({Pattern({"a": 1})})
+        assert sweep[5] == frozenset({Pattern({"a": 1})})

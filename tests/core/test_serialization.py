@@ -220,3 +220,19 @@ class TestReportSerialization:
         stats.bump("incremental_steps", 4)
         rebuilt = stats_from_dict(json.loads(json.dumps(stats.as_dict())))
         assert rebuilt.as_dict() == stats.as_dict()
+
+    def test_stats_round_trip_preserves_plan_and_cache_counters(self):
+        """The planner/result-cache provenance counters persist in reports."""
+        from repro.core.stats import SearchStats
+
+        stats = SearchStats(
+            result_cache_hits=2, result_cache_misses=1, plan_merged_queries=3
+        )
+        flat = stats.as_dict()
+        assert flat["result_cache_hits"] == 2
+        assert flat["result_cache_misses"] == 1
+        assert flat["plan_merged_queries"] == 3
+        rebuilt = stats_from_dict(json.loads(json.dumps(flat)))
+        assert rebuilt.result_cache_hits == 2
+        assert rebuilt.result_cache_misses == 1
+        assert rebuilt.plan_merged_queries == 3

@@ -214,8 +214,9 @@ class TestExecutorReuse:
             assert report.result == cold.result
 
     def test_serial_session_shares_one_counter(self):
+        """With result reuse disabled, a warm rerun answers from the block caches."""
         dataset, ranking = _instance(109, 60, [2, 3], 1.0)
-        with AuditSession(dataset, ranking) as session:
+        with AuditSession(dataset, ranking, result_cache_capacity=0) as session:
             first = session.run(
                 DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 30, "iter_td")
             )
@@ -228,6 +229,21 @@ class TestExecutorReuse:
         # it cannot miss more often than it hits, nor more often than the cold run.
         assert second.stats.cache_misses < second.stats.cache_hits
         assert second.stats.cache_misses < first.stats.cache_misses
+
+    def test_identical_rerun_is_a_result_cache_hit(self):
+        """With the default session, a repeated query never reaches the engine."""
+        dataset, ranking = _instance(109, 60, [2, 3], 1.0)
+        query = DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 30, "iter_td")
+        with AuditSession(dataset, ranking) as session:
+            first = session.run(query)
+            second = session.run(query)
+        assert first.stats.result_cache_misses == 1
+        assert second.stats.result_cache_hits == 1
+        # A cache-served report performed no engine work at all.
+        assert second.stats.full_searches == 0
+        assert second.stats.batch_evaluations == 0
+        assert second.stats.nodes_evaluated == 0
+        assert second.result == first.result
 
     def test_per_query_stats_are_isolated(self):
         """Engine counters on a report reflect that query only, not the session."""
@@ -333,8 +349,11 @@ class TestSerialReattach:
             dataset, ranking, query.bound, query.tau_s, query.k_min, query.k_max,
             algorithm=query.algorithm,
         )
+        # The lifecycle under test is the executor's; result reuse is disabled so
+        # the repeated query genuinely reaches the (broken) pool each time.
         with AuditSession(
-            dataset, ranking, execution=ExecutionConfig(workers=2)
+            dataset, ranking, execution=ExecutionConfig(workers=2),
+            result_cache_capacity=0,
         ) as session:
             first = session.run(query)
             assert first.result == reference.result
@@ -386,7 +405,8 @@ class TestSerialReattach:
         dataset, ranking = _instance(120, 50, [2, 2], 1.0)
         query = DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 20)
         with AuditSession(
-            dataset, ranking, execution=ExecutionConfig(workers=2)
+            dataset, ranking, execution=ExecutionConfig(workers=2),
+            result_cache_capacity=0,
         ) as session:
             reports = [session.run(query) for _ in range(2)]
         reference = detect_biased_groups(
