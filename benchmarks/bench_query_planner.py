@@ -9,7 +9,22 @@ paper's own sweeps — against the same synthetic ranked dataset twice:
 * **planned** — one ``AuditSession.run_many`` over the whole batch: the planner
   dedupes repeats, merges same-``(bound, tau_s, algorithm)`` k ranges into
   covering sweeps, orders steps by ``tau_s`` and serves containment repeats from
-  the session result cache.
+  the session result store.
+
+Two further modes exercise the resumable-sweep store end to end:
+
+* **partial overlap** — a first session audits a k prefix and shares its
+  sweeps (with frontiers) through a store; a *fresh* session then runs a batch
+  whose k ranges only partially overlap the cached sweeps and is served by
+  *frontier extension* (only the uncovered suffixes are computed).  The
+  control is an identical fresh session without the store, which must re-run
+  the full covering ranges; both serving sessions start with cold engines, so
+  the gated comparison — extension performs strictly fewer root searches and
+  batch evaluations than the covering re-runs, with identical results — is
+  apples-to-apples;
+* **cross-process warm store** — a child process primes an on-disk
+  ``DiskResultStore`` with the full batch, then this process serves the same
+  batch from the store: zero engine work, bit-identical reports.
 
 Wall clock is recorded but *advisory* — on a 1-core container (CI, sandboxes)
 it under-states what the planner saves a loaded server.  The **gated** numbers
@@ -19,8 +34,11 @@ are machine-independent counters that must hold exactly anywhere:
 * the planned batch performs strictly fewer root searches
   (``full_searches``) and strictly fewer engine batch evaluations than the
   per-query loop;
-* the provenance counters balance: every query is either a cache miss (one per
-  executed plan step) or a cache/merge-served hit.
+* the provenance counters balance: every query is either a store miss (one per
+  executed plan step), an extension (partial hit), or a cache/merge-served hit;
+* the partial-overlap mode observes ``result_cache_partial_hits > 0`` and
+  strictly fewer searches/batch evaluations than its covering-re-run control;
+* the warm-store mode serves every query without touching the engine.
 
 Results are written to ``BENCH_planner.json`` at the repository root.
 
@@ -36,6 +54,9 @@ import argparse
 import gc
 import json
 import os
+import subprocess
+import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -48,6 +69,7 @@ import numpy as np
 
 from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec, step_lower_bounds
 from repro.core.planner import plan_queries
+from repro.core.result_store import DiskResultStore
 from repro.core.session import AuditSession, DetectionQuery, detect_biased_groups
 from repro.data.synthetic import SyntheticSpec, synthetic_dataset
 from repro.ranking.base import PrecomputedRanker
@@ -112,12 +134,41 @@ def build_queries(n_rows: int, repeat_factor: int = 1) -> list[DetectionQuery]:
     return batch * repeat_factor
 
 
+def build_partial_overlap_batches(n_rows: int):
+    """A prefix batch plus a partially-overlapping follow-up batch.
+
+    The prefix sweeps end at ``j``; every follow-up query starts inside a cached
+    range but reaches past ``j``, so a resumable store serves each follow-up by
+    extending the cached frontier over the uncovered suffix — the headline
+    production pattern (re-auditing a published ranking with a deeper k range).
+    """
+    k_max = min(60, n_rows - 1)
+    j = min(30, k_max - 15)
+    tau = max(2, n_rows // 200)
+    step = GlobalBoundSpec(lower_bounds=step_lower_bounds({10: 10, 20: 20, 30: 30, 40: 40}))
+    flat = GlobalBoundSpec(lower_bounds=15.0)
+    prop = ProportionalBoundSpec(alpha=0.8)
+    prefix = [
+        DetectionQuery(step, tau, 10, j, algorithm="iter_td"),
+        DetectionQuery(flat, tau, 10, j),
+        DetectionQuery(prop, tau, 10, j),
+    ]
+    extension = [
+        DetectionQuery(step, tau, 15, k_max, algorithm="iter_td"),
+        DetectionQuery(flat, tau, 12, k_max),
+        DetectionQuery(prop, tau, 10, k_max),
+    ]
+    return prefix, extension
+
+
 def _collect(reports) -> dict[str, int]:
     totals = {name: 0 for name in GATED_COUNTERS}
     totals.update(
         nodes_evaluated=0,
         result_cache_hits=0,
         result_cache_misses=0,
+        result_cache_partial_hits=0,
+        extended_k_values=0,
         plan_merged_queries=0,
         total_reported=0,
     )
@@ -127,15 +178,149 @@ def _collect(reports) -> dict[str, int]:
         totals["nodes_evaluated"] += report.stats.nodes_evaluated
         totals["result_cache_hits"] += report.stats.result_cache_hits
         totals["result_cache_misses"] += report.stats.result_cache_misses
+        totals["result_cache_partial_hits"] += report.stats.result_cache_partial_hits
+        totals["extended_k_values"] += report.stats.extended_k_values
         totals["plan_merged_queries"] += report.stats.plan_merged_queries
         totals["total_reported"] += report.result.total_reported()
     return totals
+
+
+def run_partial_overlap(dataset, ranking, n_rows: int) -> dict:
+    """The resumable-sweep comparison: frontier extension vs covering re-runs.
+
+    This measures the cross-session production scenario the store exists for: a
+    first session audits the ranking up to ``j`` and shares its sweeps (with
+    frontiers) through a store; a *fresh* session then asks partially
+    overlapping ranges reaching past ``j``.  Served through the store it
+    computes only the uncovered suffixes; the control is an identical fresh
+    session without the store, which must re-run the full covering ranges.
+    Both serving sessions start with cold engines, so the gated counters
+    compare exactly what the store saves.
+    """
+    from repro.core.result_store import InMemoryResultStore
+
+    prefix, extension = build_partial_overlap_batches(n_rows)
+
+    store = InMemoryResultStore()
+    with AuditSession(dataset, ranking, store=store) as primer:
+        primer.run_many(prefix)
+
+    gc.collect()
+    started = time.perf_counter()
+    with AuditSession(dataset, ranking, store=store) as session:
+        extension_reports = session.run_many(extension)
+    extension_seconds = time.perf_counter() - started
+
+    gc.collect()
+    started = time.perf_counter()
+    with AuditSession(dataset, ranking) as control:
+        control_reports = control.run_many(extension)
+    control_seconds = time.perf_counter() - started
+
+    extension_totals = _collect(extension_reports)
+    control_totals = _collect(control_reports)
+    gates = {
+        "partial_results_bit_identical": all(
+            served.result == rerun.result
+            for served, rerun in zip(extension_reports, control_reports)
+        ),
+        "partial_hits_observed": extension_totals["result_cache_partial_hits"] > 0,
+        "extended_k_values_observed": extension_totals["extended_k_values"] > 0,
+        # Extension steps perform strictly fewer root searches and batch
+        # evaluations than the full covering re-runs of the control session.
+        "extension_fewer_full_searches": (
+            extension_totals["full_searches"] < control_totals["full_searches"]
+        ),
+        "extension_fewer_batch_evaluations": (
+            extension_totals["batch_evaluations"] < control_totals["batch_evaluations"]
+        ),
+    }
+    return {
+        "n_prefix_queries": len(prefix),
+        "n_extension_queries": len(extension),
+        "extension": dict(extension_totals, seconds_total=extension_seconds),
+        "covering_rerun": dict(control_totals, seconds_total=control_seconds),
+        "gates": gates,
+    }
+
+
+def prime_store(store_dir: Path, n_rows: int, n_attributes: int, repeat_factor: int) -> None:
+    """Child-process entry: run the batch once into an on-disk store."""
+    dataset, ranking = build_instance(n_rows, n_attributes)
+    queries = build_queries(n_rows, repeat_factor)
+    with AuditSession(dataset, ranking, store=DiskResultStore(store_dir)) as session:
+        session.run_many(queries)
+
+
+def run_warm_store(
+    dataset, ranking, queries, per_query_reports, store_dir: Path | None,
+    n_rows: int, n_attributes: int, repeat_factor: int,
+) -> dict:
+    """The cross-process mode: a child primes a disk store, we serve from it."""
+    cleanup = None
+    if store_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="bench_planner_store_")
+        store_dir = Path(cleanup.name)
+    try:
+        child = subprocess.run(
+            [
+                sys.executable, os.path.abspath(__file__),
+                "--prime-store", str(store_dir),
+                "--rows", str(n_rows),
+                "--attributes", str(n_attributes),
+                "--repeat-factor", str(repeat_factor),
+            ],
+            env=dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src")),
+            capture_output=True,
+            text=True,
+            timeout=1800,
+        )
+        if child.returncode != 0:
+            return {
+                "gates": {"warm_store_primed": False},
+                "error": (child.stderr or child.stdout)[-2000:],
+            }
+        gc.collect()
+        started = time.perf_counter()
+        store = DiskResultStore(store_dir)
+        with AuditSession(dataset, ranking, store=store) as session:
+            warm_reports = session.run_many(queries)
+        warm_seconds = time.perf_counter() - started
+        warm = _collect(warm_reports)
+        gates = {
+            "warm_store_primed": True,
+            "warm_store_results_bit_identical": all(
+                cold.result == warm_report.result
+                for cold, warm_report in zip(per_query_reports, warm_reports)
+            ),
+            # Every query is served from disk: the engine never runs.
+            "warm_store_no_engine_work": (
+                warm["full_searches"] == 0 and warm["batch_evaluations"] == 0
+            ),
+            "warm_store_every_query_served": (
+                warm["result_cache_hits"]
+                + warm["result_cache_partial_hits"]
+                + warm["result_cache_misses"]
+                == len(queries)
+                and warm["result_cache_misses"] == 0
+            ),
+        }
+        return {
+            "store_entries": len(store),
+            "warm": dict(warm, seconds_total=warm_seconds),
+            "gates": gates,
+        }
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
 
 
 def run_benchmark(
     n_rows: int = DEFAULT_ROWS,
     n_attributes: int = DEFAULT_ATTRIBUTES,
     repeat_factor: int = 1,
+    store_dir: Path | None = None,
+    cross_process: bool = True,
 ) -> dict:
     """One full per-query-vs-planned comparison; returns the artifact dict."""
     dataset, ranking = build_instance(n_rows, n_attributes)
@@ -175,12 +360,26 @@ def run_benchmark(
         # Provenance balances: one miss per executed step, everything else served.
         "one_miss_per_step": planned["result_cache_misses"] == plan.n_steps,
         "every_query_served": (
-            planned["result_cache_misses"] + planned["result_cache_hits"]
+            planned["result_cache_misses"]
+            + planned["result_cache_hits"]
+            + planned["result_cache_partial_hits"]
             == len(queries)
         ),
     }
-    return {
-        "schema_version": 1,
+
+    partial_overlap = run_partial_overlap(dataset, ranking, n_rows)
+    gates.update(partial_overlap["gates"])
+
+    warm_store = None
+    if cross_process:
+        warm_store = run_warm_store(
+            dataset, ranking, queries, per_query_reports, store_dir,
+            n_rows, n_attributes, repeat_factor,
+        )
+        gates.update(warm_store["gates"])
+
+    artifact = {
+        "schema_version": 2,
         "n_rows": n_rows,
         "n_attributes": n_attributes,
         "n_queries": len(queries),
@@ -192,6 +391,7 @@ def run_benchmark(
         },
         "per_query": dict(per_query, seconds_total=per_query_seconds),
         "planned": dict(planned, seconds_total=planned_seconds),
+        "partial_overlap": partial_overlap,
         # Advisory on shared/1-core machines; the gates are the real check.
         "amortized_speedup": (
             per_query_seconds / planned_seconds if planned_seconds else None
@@ -203,8 +403,18 @@ def run_benchmark(
             "batch_evaluations_saved": (
                 per_query["batch_evaluations"] - planned["batch_evaluations"]
             ),
+            "result_cache_partial_hits": (
+                partial_overlap["extension"]["result_cache_partial_hits"]
+            ),
+            "extension_batch_evaluations_saved": (
+                partial_overlap["covering_rerun"]["batch_evaluations"]
+                - partial_overlap["extension"]["batch_evaluations"]
+            ),
         },
     }
+    if warm_store is not None:
+        artifact["warm_store"] = warm_store
+    return artifact
 
 
 def main() -> int:
@@ -215,20 +425,34 @@ def main() -> int:
                         help="how many times the 12-query batch repeats (the "
                              "result cache should absorb every repeat)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="directory for the cross-process warm-store mode "
+                             "(a temporary directory by default)")
+    parser.add_argument("--no-cross-process", action="store_true",
+                        help="skip the cross-process warm-store mode")
+    parser.add_argument("--prime-store", type=Path, default=None,
+                        help=argparse.SUPPRESS)  # child-process entry point
     args = parser.parse_args()
+
+    if args.prime_store is not None:
+        prime_store(args.prime_store, args.rows, args.attributes, args.repeat_factor)
+        return 0
 
     print(f"planner bench: {12 * args.repeat_factor} queries over {args.rows} rows "
           f"x {args.attributes} attrs")
-    artifact = run_benchmark(args.rows, args.attributes, args.repeat_factor)
+    artifact = run_benchmark(
+        args.rows, args.attributes, args.repeat_factor,
+        store_dir=args.store_dir, cross_process=not args.no_cross_process,
+    )
     args.output.write_text(json.dumps(artifact, indent=2, sort_keys=True), encoding="utf-8")
     print(json.dumps(artifact["summary"], indent=2, sort_keys=True))
     print(f"wrote {args.output}")
     if not artifact["summary"]["gates_ok"]:
-        print("GATE FAILED: the planner-served batch did not strictly beat the "
-              "per-query loop on the gated counters")
+        print("GATE FAILED: the planner/store-served batches did not strictly "
+              "beat their reference runs on the gated counters")
         return 1
     print("gates ok: bit-identical results with strictly fewer searches and "
-          "batch evaluations")
+          "batch evaluations (planned, extension and warm-store modes)")
     return 0
 
 

@@ -48,6 +48,12 @@ PLANNER_GATES = (
     "fewer_batch_evaluations",
     "one_miss_per_step",
     "every_query_served",
+    # Resumable-sweep gates (artifact schema 2): partial hits must be observed
+    # and extension must strictly beat the full covering re-runs.
+    "partial_results_bit_identical",
+    "partial_hits_observed",
+    "extension_fewer_full_searches",
+    "extension_fewer_batch_evaluations",
 )
 
 
@@ -94,7 +100,8 @@ def check_planner(current: dict) -> list[str]:
     baseline and no tolerance: a gate is either true or the planner regressed.
     """
     problems: list[str] = []
-    gates = (current.get("summary") or {}).get("gates")
+    summary = current.get("summary") or {}
+    gates = summary.get("gates")
     if not isinstance(gates, dict):
         return ["planner artifact has no summary.gates mapping"]
     for name in PLANNER_GATES:
@@ -102,9 +109,35 @@ def check_planner(current: dict) -> list[str]:
             problems.append(f"planner gate {name}: missing from the artifact")
         elif not gates[name]:
             problems.append(f"planner gate {name}: failed")
-    saved = (current.get("summary") or {}).get("full_searches_saved")
+    # Warm-store gates only gate when the mode ran (it needs a child process).
+    for name, value in gates.items():
+        if name.startswith("warm_store") and not value:
+            problems.append(f"planner gate {name}: failed")
+    saved = summary.get("full_searches_saved")
     if isinstance(saved, (int, float)) and saved <= 0:
         problems.append(f"planner saved no root searches ({saved})")
+    # The resumable-store acceptance counters, re-verified from the raw section
+    # (not just the boolean gates): partial hits happened, and extension did
+    # strictly fewer batch evaluations than the full covering re-runs.
+    partial = current.get("partial_overlap") or {}
+    extension = partial.get("extension") or {}
+    rerun = partial.get("covering_rerun") or {}
+    partial_hits = extension.get("result_cache_partial_hits")
+    if not isinstance(partial_hits, (int, float)) or partial_hits <= 0:
+        problems.append(
+            f"planner partial-overlap mode observed no partial hits ({partial_hits!r})"
+        )
+    ext_batches = extension.get("batch_evaluations")
+    rerun_batches = rerun.get("batch_evaluations")
+    if (
+        not isinstance(ext_batches, (int, float))
+        or not isinstance(rerun_batches, (int, float))
+        or not ext_batches < rerun_batches
+    ):
+        problems.append(
+            f"extension did not strictly beat the covering re-run on batch "
+            f"evaluations ({ext_batches!r} vs {rerun_batches!r})"
+        )
     return problems
 
 

@@ -24,6 +24,10 @@ class TestCheckPlannerLogic:
             "full_searches_saved": 120,
             "batch_evaluations_saved": 4000,
         },
+        "partial_overlap": {
+            "extension": {"result_cache_partial_hits": 3, "batch_evaluations": 100},
+            "covering_rerun": {"batch_evaluations": 450},
+        },
     }
 
     def test_passes_when_all_gates_hold(self):
@@ -50,6 +54,24 @@ class TestCheckPlannerLogic:
 
     def test_malformed_artifact_reported(self):
         assert check_planner({}) == ["planner artifact has no summary.gates mapping"]
+
+    def test_missing_partial_hits_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["partial_overlap"]["extension"]["result_cache_partial_hits"] = 0
+        problems = check_planner(current)
+        assert any("no partial hits" in problem for problem in problems)
+
+    def test_extension_not_cheaper_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["partial_overlap"]["extension"]["batch_evaluations"] = 450
+        problems = check_planner(current)
+        assert any("covering re-run" in problem for problem in problems)
+
+    def test_failed_warm_store_gate_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["summary"]["gates"]["warm_store_no_engine_work"] = False
+        problems = check_planner(current)
+        assert any("warm_store_no_engine_work" in problem for problem in problems)
 
 
 @pytest.mark.bench_smoke
@@ -78,3 +100,18 @@ class TestPlannerSmoke:
         assert planned["full_searches"] * 2 < per_query["full_searches"]
         assert planned["result_cache_hits"] == 24 - 5
         assert planned["result_cache_misses"] == 5
+
+    def test_extension_mode_serves_partial_hits(self, artifact):
+        partial = artifact["partial_overlap"]
+        extension = partial["extension"]
+        rerun = partial["covering_rerun"]
+        assert extension["result_cache_partial_hits"] == partial["n_extension_queries"]
+        assert extension["extended_k_values"] > 0
+        assert extension["full_searches"] < rerun["full_searches"]
+        assert extension["batch_evaluations"] < rerun["batch_evaluations"]
+
+    def test_warm_store_mode_does_no_engine_work(self, artifact):
+        warm = artifact["warm_store"]["warm"]
+        assert warm["full_searches"] == 0
+        assert warm["batch_evaluations"] == 0
+        assert warm["result_cache_misses"] == 0

@@ -18,18 +18,22 @@ from repro.core import (
     DetectionQuery,
     DetectionReport,
     DetectionResult,
+    DiskResultStore,
     ExecutionConfig,
     GlobalBoundsDetector,
     GlobalBoundSpec,
+    InMemoryResultStore,
     IterTDDetector,
     Pattern,
     PropBoundsDetector,
     ProportionalBoundSpec,
     QueryPlan,
     ResultCache,
+    ResultStore,
     detect_biased_groups,
     plan_queries,
     run_queries,
+    shared_result_store,
 )
 from repro.data import Dataset, Schema
 from repro.ranking import AttributeRanker, PrecomputedRanker, Ranker, Ranking, ScoreRanker
@@ -58,6 +62,10 @@ __all__ = [
     "DetectionResult",
     "QueryPlan",
     "ResultCache",
+    "ResultStore",
+    "InMemoryResultStore",
+    "DiskResultStore",
+    "shared_result_store",
     "plan_queries",
     "detect_biased_groups",
     "run_queries",

@@ -26,12 +26,19 @@ from repro.core.iter_td import IterTDDetector
 from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.pattern_graph import PatternCounter, SearchTree
 from repro.core.planner import (
+    ExtendStep,
     PlanStep,
     QueryPlan,
     ResultCache,
     canonical_query_key,
     plan_queries,
     query_group_key,
+)
+from repro.core.result_store import (
+    DiskResultStore,
+    InMemoryResultStore,
+    ResultStore,
+    shared_result_store,
 )
 from repro.core.prop_bounds import PropBoundsDetector
 from repro.core.result_set import DetectedGroup, DetectionResult, MostGeneralSet, minimal_patterns
@@ -45,6 +52,7 @@ from repro.core.serialization import (
 )
 from repro.core.session import AuditSession, DetectionQuery, detect_biased_groups, run_queries
 from repro.core.stats import SearchStats, examined_gain
+from repro.core.top_down import SweepFrontier, SweepOutcome
 from repro.core.tuning import (
     TuningResult,
     suggest_alpha,
@@ -67,7 +75,14 @@ __all__ = [
     "run_queries",
     "QueryPlan",
     "PlanStep",
+    "ExtendStep",
     "ResultCache",
+    "ResultStore",
+    "InMemoryResultStore",
+    "DiskResultStore",
+    "shared_result_store",
+    "SweepFrontier",
+    "SweepOutcome",
     "plan_queries",
     "canonical_query_key",
     "query_group_key",

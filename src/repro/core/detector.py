@@ -19,7 +19,7 @@ from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.result_set import DetectedGroup, DetectionResult
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState
+from repro.core.top_down import SearchState, SweepFrontier, SweepOutcome
 from repro.data.dataset import Dataset
 from repro.exceptions import DetectionError
 from repro.ranking.base import Ranker, Ranking
@@ -158,13 +158,30 @@ class Detector(abc.ABC):
     #: parallel executor that would receive zero tasks.
     uses_search: bool = True
 
+    #: Whether finished sweeps capture a :class:`~repro.core.top_down.SweepFrontier`
+    #: and :meth:`_resume` can extend them to a larger ``k_max``.  The built-in
+    #: detectors are resumable; third-party subclasses default to one-shot.
+    resumable: bool = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # Keep the abstract-class fail-fast despite the dual override points:
+        # a concrete detector must implement _sweep or the legacy _run.
+        super().__init_subclass__(**kwargs)
+        if (
+            not getattr(cls, "__abstractmethods__", None)
+            and cls._sweep is Detector._sweep
+            and cls._run is Detector._run
+        ):
+            raise TypeError(
+                f"{cls.__name__} must override _sweep() (or the legacy _run())"
+            )
+
     def __init__(self, parameters: DetectionParameters) -> None:
         self.parameters = parameters
 
-    @abc.abstractmethod
-    def _run(
+    def _sweep(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> DetectionResult:
+    ) -> SweepOutcome:
         """Compute the per-k most general biased patterns for the full k range.
 
         ``search`` runs one full top-down search for a given (bound, k, tau_s) —
@@ -175,8 +192,56 @@ class Detector(abc.ABC):
         their output through :class:`~repro.core.top_down.SweepAssembler` so the
         returned :class:`DetectionResult` is range-sliceable: the session's query
         planner runs detectors over *covering* k ranges and serves the individual
-        queries via :meth:`DetectionResult.restrict_k`.
+        queries via :meth:`DetectionResult.restrict_k`.  Resumable detectors
+        additionally capture a :class:`~repro.core.top_down.SweepFrontier` on the
+        assembler so the session's result store can later extend the sweep.
+
+        This is the override point for the built-in algorithms.  Legacy
+        third-party subclasses may override :meth:`_run` instead; such sweeps
+        simply carry no frontier.
         """
+        if type(self)._run is not Detector._run:
+            return SweepOutcome(result=self._run(counter, stats, search), frontier=None)
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _sweep() (or the legacy _run())"
+        )
+
+    def _run(
+        self, counter: PatternCounter, stats: SearchStats, search: SearchFn
+    ) -> DetectionResult:
+        """Legacy override point: like :meth:`_sweep` but without a frontier."""
+        return self._sweep(counter, stats, search).result
+
+    def _resume(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        search: SearchFn,
+        frontier: SweepFrontier,
+    ) -> SweepOutcome:
+        """Extend a finished sweep from ``frontier`` over this detector's k range.
+
+        The detector must have been constructed for the *suffix*: its ``k_min``
+        equals ``frontier.k + 1`` and its ``k_max`` is the new sweep end.  The
+        returned outcome covers only the suffix k values (the caller stitches it
+        onto the cached covering result) and carries the new frontier at the
+        extended ``k_max``.  Implementations must be bit-identical to the suffix
+        of a cold run over the combined range — the contract behind the result
+        store's partial hits.
+        """
+        raise DetectionError(f"{type(self).__name__} does not support resuming sweeps")
+
+    def _check_resume_frontier(self, frontier: SweepFrontier, algorithm: str) -> None:
+        """Shared validation of a frontier handed to :meth:`_resume`."""
+        if frontier.algorithm != algorithm:
+            raise DetectionError(
+                f"cannot resume a {frontier.algorithm!r} frontier with {algorithm!r}"
+            )
+        if self.parameters.k_min != frontier.k + 1:
+            raise DetectionError(
+                f"resume expects k_min == frontier.k + 1 "
+                f"(got k_min={self.parameters.k_min}, frontier.k={frontier.k})"
+            )
 
     def detect(
         self,

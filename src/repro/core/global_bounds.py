@@ -23,9 +23,8 @@ from repro.core.detector import DetectionParameters, Detector, SearchFn
 from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
-from repro.core.result_set import DetectionResult
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState, SweepAssembler
+from repro.core.top_down import SearchState, SweepAssembler, SweepFrontier, SweepOutcome
 from repro.exceptions import DetectionError
 
 
@@ -33,6 +32,7 @@ class GlobalBoundsDetector(Detector):
     """Incremental detector for Problem 3.1 (global representation bounds)."""
 
     name = "GlobalBounds"
+    resumable = True
 
     def __init__(
         self,
@@ -53,24 +53,56 @@ class GlobalBoundsDetector(Detector):
             )
         )
 
-    def _run(
+    def _sweep(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> DetectionResult:
+    ) -> SweepOutcome:
+        parameters = self.parameters
+        state = search(parameters.bound, parameters.k_min, parameters.tau_s, stats)
+        sweep = SweepAssembler()
+        sweep.record(parameters.k_min, state)
+        return self._advance(
+            counter, stats, search, state, sweep, parameters.k_min + 1
+        )
+
+    def _resume(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        search: SearchFn,
+        frontier: SweepFrontier,
+    ) -> SweepOutcome:
+        self._check_resume_frontier(frontier, "global_bounds")
+        # The state evolution at k > frontier.k depends only on the reached
+        # classification (never on where the sweep started or its old k_max), so
+        # resuming from the frontier reproduces the cold run's suffix exactly.
+        return self._advance(
+            counter, stats, search, frontier.as_state(), SweepAssembler(),
+            self.parameters.k_min,
+        )
+
+    def _advance(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        search: SearchFn,
+        state: SearchState,
+        sweep: SweepAssembler,
+        k_from: int,
+    ) -> SweepOutcome:
+        """Advance ``state`` over ``[k_from, k_max]``, recording each k into ``sweep``."""
         parameters = self.parameters
         bound = parameters.bound
-        sweep = SweepAssembler()
-
-        state = search(bound, parameters.k_min, parameters.tau_s, stats)
-        sweep.record(parameters.k_min, state)
-
-        for k in range(parameters.k_min + 1, parameters.k_max + 1):
+        for k in range(k_from, parameters.k_max + 1):
             if bound.lower_changes_at(k, 0, counter.dataset_size):
                 # The incremental step is only valid while L_k is unchanged; restart.
                 state = search(bound, k, parameters.tau_s, stats)
             else:
                 self._incremental_step(counter, bound, state, k, stats)
             sweep.record(k, state)
-        return sweep.finish()
+        sweep.capture_frontier(
+            SweepFrontier.from_state("global_bounds", parameters.k_max, state)
+        )
+        return sweep.finish_outcome()
 
     def _incremental_step(
         self,

@@ -18,15 +18,15 @@ from repro.core.bounds import BoundSpec
 from repro.core.detector import DetectionParameters, Detector, SearchFn
 from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern_graph import PatternCounter
-from repro.core.result_set import DetectionResult
 from repro.core.stats import SearchStats
-from repro.core.top_down import SweepAssembler
+from repro.core.top_down import SweepAssembler, SweepFrontier, SweepOutcome
 
 
 class IterTDDetector(Detector):
     """Iterative top-down baseline: one full search per ``k``."""
 
     name = "IterTD"
+    resumable = True
 
     def __init__(
         self,
@@ -42,9 +42,9 @@ class IterTDDetector(Detector):
             )
         )
 
-    def _run(
+    def _sweep(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> DetectionResult:
+    ) -> SweepOutcome:
         parameters = self.parameters
         sweep = SweepAssembler()
         for k in parameters.k_range():
@@ -52,4 +52,17 @@ class IterTDDetector(Detector):
             # may return shard-minimal below sets instead of full classifications.
             state = search(parameters.bound, k, parameters.tau_s, stats, classification=False)
             sweep.record(k, state)
-        return sweep.finish()
+        # Every k is an independent full search, so the frontier is stateless:
+        # extending an IterTD sweep just runs the suffix searches.
+        sweep.capture_frontier(SweepFrontier(algorithm="iter_td", k=parameters.k_max))
+        return sweep.finish_outcome()
+
+    def _resume(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        search: SearchFn,
+        frontier: SweepFrontier,
+    ) -> SweepOutcome:
+        self._check_resume_frontier(frontier, "iter_td")
+        return self._sweep(counter, stats, search)

@@ -16,23 +16,33 @@ work in three distinct ways, each addressed by one layer of this module:
   of where the sweep started, so the covering run answers each constituent query
   via :meth:`~repro.core.result_set.DetectionResult.restrict_k` bit-identically
   to running it alone.
-* **Cross-query result reuse** — :class:`ResultCache` keeps finished covering
-  sweeps keyed by canonical query + dataset fingerprint and serves any later
-  query whose range is *contained* in a cached one, again by restriction.
+* **Cross-query result reuse** — the session's
+  :class:`~repro.core.result_store.ResultStore` keeps finished covering sweeps
+  (with their resume frontiers) keyed by canonical query + dataset fingerprint
+  and serves any later query whose range is *contained* in a cached one, again
+  by restriction.
+* **Partial-hit planning** — when the caller supplies a *coverage* view of its
+  store, a query whose range only partially overlaps a cached sweep plans an
+  :class:`ExtendStep`: the session resumes the cached sweep's
+  :class:`~repro.core.top_down.SweepFrontier` over the uncovered k suffix
+  instead of re-running the whole covering range.
 
 Plan steps are ordered by ``tau_s`` (ties by first appearance in the batch) so
 that the executor's per-``tau_s`` shard assignments and the engine's sibling
 block caches are reused back-to-back instead of being interleaved.
 
-The planner is pure — it never looks at the cache or the dataset — which keeps
-it unit-testable; the session owns cache lookups at execution time.
+The planner never touches the dataset or executes anything; its only impurity
+is the optional read-only ``coverage`` callback, without which planning is a
+pure function of the query batch.  The session owns store lookups at execution
+time (and re-validates extension bases then, so a stale plan degrades to a full
+run, never to a wrong answer).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.core.bounds import BoundSpec, GlobalBoundSpec, ProportionalBoundSpec
 from repro.core.detector import DetectionParameters, Detector
@@ -40,17 +50,35 @@ from repro.core.engine.parallel import ExecutionConfig
 from repro.core.global_bounds import GlobalBoundsDetector
 from repro.core.iter_td import IterTDDetector
 from repro.core.prop_bounds import PropBoundsDetector
-from repro.core.result_set import DetectionResult
+from repro.core.result_store import (  # noqa: F401  (re-exported)
+    DEFAULT_RESULT_CACHE_CAPACITY,
+    DiskResultStore,
+    InMemoryResultStore,
+    ResultStore,
+    StoreEntry,
+    is_extension_base,
+    shared_result_store,
+)
+from repro.core.upper_bounds import UpperBoundsDetector
 
 #: Algorithm names accepted by :class:`DetectionQuery`, mapped to detector classes.
 DETECTOR_CLASSES = {
     "iter_td": IterTDDetector,
     "global_bounds": GlobalBoundsDetector,
     "prop_bounds": PropBoundsDetector,
+    "upper_bounds": UpperBoundsDetector,
 }
 
-#: Default number of covering sweeps a session's :class:`ResultCache` retains.
-DEFAULT_RESULT_CACHE_CAPACITY = 64
+#: PR 4 called the in-memory LRU backend ``ResultCache``; the *name* survives as
+#: an alias of :class:`~repro.core.result_store.InMemoryResultStore`, but the
+#: signatures changed with the pluggable-store refactor: the constructor now
+#: takes only ``capacity`` and every ``lookup``/``insert`` call passes the
+#: dataset fingerprint explicitly (one store may serve many datasets).
+ResultCache = InMemoryResultStore
+
+#: Signature of the optional coverage view handed to :func:`plan_queries`:
+#: group key -> the cached (k_min, k_max) ranges that may seed an extension.
+CoverageFn = Callable[[tuple], Iterable[tuple[int, int]]]
 
 
 @dataclass(frozen=True)
@@ -58,11 +86,21 @@ class DetectionQuery:
     """One detection question, as a frozen value.
 
     ``algorithm`` is ``"auto"`` (GlobalBounds for pattern-independent bounds,
-    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"`` or
-    ``"prop_bounds"`` — the same names the one-shot
+    PropBounds otherwise), ``"iter_td"``, ``"global_bounds"``, ``"prop_bounds"``
+    or ``"upper_bounds"`` — the lower-bound names are the same ones the one-shot
     :func:`~repro.core.session.detect_biased_groups` facade accepts.  Instances
     carry no dataset or execution state, so the same query can be run against
     many sessions (or stored alongside a saved report).
+
+    ``beta`` is the canonical form of an upper-bound level: a query with
+    ``beta`` set audits against :meth:`effective_bound`, which augments
+    ``bound`` with that upper level (the ``beta`` of a
+    :class:`~repro.core.bounds.ProportionalBoundSpec`, the constant
+    ``upper_bounds`` of a :class:`~repro.core.bounds.GlobalBoundSpec`).  Because
+    the level is part of the query value — not baked into ad-hoc bound objects —
+    ``upper_bounds`` sweeps route through :func:`plan_queries` like everything
+    else: equal-``beta`` repeats dedupe, overlapping k ranges merge, and
+    distinct ``beta`` levels never falsely share a plan step.
     """
 
     bound: BoundSpec
@@ -70,6 +108,7 @@ class DetectionQuery:
     k_min: int
     k_max: int
     algorithm: str = "auto"
+    beta: float | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm != "auto" and self.algorithm not in DETECTOR_CLASSES:
@@ -77,9 +116,33 @@ class DetectionQuery:
                 f"unknown algorithm {self.algorithm!r}; expected one of "
                 f"{sorted(DETECTOR_CLASSES)} or 'auto'"
             )
-        # Reuse the parameter validation (tau_s >= 1, k_min >= 1, k_max >= k_min).
+        # Reuse the parameter validation (tau_s >= 1, k_min >= 1, k_max >= k_min)
+        # and fail fast on a beta level the bound cannot carry.
         DetectionParameters(
-            bound=self.bound, tau_s=self.tau_s, k_min=self.k_min, k_max=self.k_max
+            bound=self.effective_bound(),
+            tau_s=self.tau_s,
+            k_min=self.k_min,
+            k_max=self.k_max,
+        )
+        if self.algorithm == "upper_bounds" and self.effective_bound().upper(
+            self.k_min, 1, 1
+        ) is None:
+            raise ValueError(
+                "an upper_bounds query needs an upper level: set beta, or use a "
+                "bound specification with upper bounds"
+            )
+
+    def effective_bound(self) -> BoundSpec:
+        """The bound actually audited: ``bound`` augmented with ``beta`` (if set)."""
+        if self.beta is None:
+            return self.bound
+        if isinstance(self.bound, ProportionalBoundSpec):
+            return replace(self.bound, beta=float(self.beta))
+        if isinstance(self.bound, GlobalBoundSpec):
+            return replace(self.bound, upper_bounds=float(self.beta))
+        raise ValueError(
+            f"beta levels require a GlobalBoundSpec or ProportionalBoundSpec "
+            f"(got {type(self.bound).__qualname__})"
         )
 
     def resolved_algorithm(self) -> str:
@@ -92,7 +155,7 @@ class DetectionQuery:
         """Instantiate the detector this query asks for."""
         detector_class = DETECTOR_CLASSES[self.resolved_algorithm()]
         return detector_class(
-            bound=self.bound,
+            bound=self.effective_bound(),
             tau_s=self.tau_s,
             k_min=self.k_min,
             k_max=self.k_max,
@@ -145,9 +208,12 @@ def query_group_key(query: DetectionQuery) -> tuple:
 
     Two queries with equal group keys ask the same question about different (or
     equal) prefixes of the same ranking, so their sweeps may legally be merged
-    and their results may answer each other by k-range containment.
+    and their results may answer each other by k-range containment.  The key is
+    computed over :meth:`DetectionQuery.effective_bound`, so upper-bound queries
+    at distinct ``beta`` levels never share a group while equal levels dedupe —
+    whether the level came through ``beta`` or was baked into the bound.
     """
-    return (bound_key(query.bound), query.tau_s, query.resolved_algorithm())
+    return (bound_key(query.effective_bound()), query.tau_s, query.resolved_algorithm())
 
 
 def canonical_query_key(query: DetectionQuery) -> tuple:
@@ -180,6 +246,29 @@ class PlanStep:
     def primary_index(self) -> int:
         """The first input-batch index served — the query that pays for the run."""
         return self.serves[0]
+
+
+@dataclass(frozen=True)
+class ExtendStep(PlanStep):
+    """A plan step served by *extending* a cached sweep instead of re-running it.
+
+    Planned when the store's coverage shows a cached sweep of the same group
+    over ``[base_k_min, base_k_max]`` that covers the step's ``k_min`` but ends
+    short of its ``k_max``: the session resumes the cached frontier over the
+    uncovered suffix ``(base_k_max, k_max]`` and stitches the results, instead
+    of re-running the whole covering range.  The base is re-validated at
+    execution time — if it was evicted (or turns out to carry no frontier) the
+    step degrades to a plain covering run, so a stale plan can cost time but
+    never correctness.
+    """
+
+    base_k_min: int = 0
+    base_k_max: int = 0
+
+    @property
+    def suffix_k_values(self) -> int:
+        """How many k values the extension computes (vs a full covering run)."""
+        return self.query.k_max - self.base_k_max
 
 
 @dataclass(frozen=True)
@@ -221,25 +310,66 @@ class QueryPlan:
         """Distinct canonical queries absorbed by k-range merging."""
         return sum(step.merged_ranges for step in self.steps)
 
+    @property
+    def extension_steps(self) -> int:
+        """Steps planned as frontier extensions of cached sweeps."""
+        return sum(1 for step in self.steps if isinstance(step, ExtendStep))
+
     def describe(self) -> str:
         lines = [
             f"plan: {self.n_queries} queries -> {self.n_steps} steps "
-            f"({self.deduped_queries} deduped, {self.merged_ranges} ranges merged)"
+            f"({self.deduped_queries} deduped, {self.merged_ranges} ranges merged, "
+            f"{self.extension_steps} extensions)"
         ]
         for position, step in enumerate(self.steps):
             query = step.query
+            suffix = ""
+            if isinstance(step, ExtendStep):
+                suffix = (
+                    f" extends cached [{step.base_k_min}, {step.base_k_max}]"
+                    f" (+{step.suffix_k_values} k values)"
+                )
             lines.append(
                 f"  step {position}: {query.resolved_algorithm()} tau_s={query.tau_s} "
-                f"k=[{query.k_min}, {query.k_max}] serves {list(step.serves)}"
+                f"k=[{query.k_min}, {query.k_max}] serves {list(step.serves)}{suffix}"
             )
         return "\n".join(lines)
 
 
-def plan_queries(queries: Sequence[DetectionQuery]) -> QueryPlan:
+def _extension_base(
+    ranges: Iterable[tuple[int, int]], k_min: int, k_max: int
+) -> tuple[int, int] | None:
+    """The best cached range for extending towards ``[k_min, k_max]``, or ``None``.
+
+    Qualification is :func:`~repro.core.result_store.is_extension_base` — the
+    same predicate the stores' ``extendable`` lookups apply at execution time;
+    among qualifying ranges the latest-ending one wins (smallest suffix).  A
+    range that already *contains* the asked range disqualifies extension
+    entirely — the step will be a plain containment hit at execution time.
+    """
+    best: tuple[int, int] | None = None
+    for base_min, base_max in ranges:
+        if base_min <= k_min and k_max <= base_max:
+            return None
+        if not is_extension_base(base_min, base_max, k_min, k_max):
+            continue
+        if best is None or base_max > best[1]:
+            best = (base_min, base_max)
+    return best
+
+
+def plan_queries(
+    queries: Sequence[DetectionQuery],
+    coverage: CoverageFn | None = None,
+) -> QueryPlan:
     """Plan a batch of queries into deduplicated, merged, ``tau_s``-ordered steps.
 
-    The plan is pure: it depends only on the queries, never on the dataset or any
-    cache state.  Guarantees:
+    ``coverage`` is an optional read-only view of the caller's result store
+    (group key -> cached ``(k_min, k_max)`` ranges).  When given, a step whose
+    range partially overlaps a cached sweep — the cached range covers the
+    step's ``k_min`` but ends short of its ``k_max`` — is planned as an
+    :class:`ExtendStep` over the uncovered suffix instead of a full covering
+    run.  Without it planning is a pure function of the queries.  Guarantees:
 
     * every input index is served by exactly one step;
     * a step's covering range is the union of the (overlapping, nested or
@@ -286,16 +416,26 @@ def plan_queries(queries: Sequence[DetectionQuery]) -> QueryPlan:
                 k_min=k_min,
                 k_max=k_max,
                 algorithm=representative.resolved_algorithm(),
+                beta=representative.beta,
             )
-            steps.append(
-                PlanStep(
-                    query=covering,
-                    group_key=group_key,
-                    serves=tuple(sorted(served)),
-                    merged_ranges=merged,
-                    deduped_queries=deduped,
+            base = (
+                _extension_base(coverage(group_key), k_min, k_max)
+                if coverage is not None
+                else None
+            )
+            step_fields = dict(
+                query=covering,
+                group_key=group_key,
+                serves=tuple(sorted(served)),
+                merged_ranges=merged,
+                deduped_queries=deduped,
+            )
+            if base is not None:
+                steps.append(
+                    ExtendStep(**step_fields, base_k_min=base[0], base_k_max=base[1])
                 )
-            )
+            else:
+                steps.append(PlanStep(**step_fields))
 
     # 3. Execution order: ascending tau_s, ties by first appearance in the batch,
     # so the executor's per-tau_s shard assignments are reused back-to-back.
@@ -304,85 +444,7 @@ def plan_queries(queries: Sequence[DetectionQuery]) -> QueryPlan:
 
 
 # -- cross-query result reuse -------------------------------------------------------
-@dataclass
-class _CacheEntry:
-    """One cached covering sweep.  Holding ``query`` keeps identity-keyed bounds
-    alive, so their ``id``-based keys can never be reused by a new object."""
-
-    query: DetectionQuery
-    result: DetectionResult
-
-
-class ResultCache:
-    """LRU cache of covering k-sweep results with containment-based hits.
-
-    Entries are keyed by the canonical query (group key + covering k range) plus
-    the dataset fingerprint, so a cache can only ever answer queries about the
-    exact dataset whose sweeps it stores.  A lookup for ``[k_min, k_max]`` hits
-    any entry of the same group whose range *contains* it — the caller slices
-    the returned covering result down with
-    :meth:`~repro.core.result_set.DetectionResult.restrict_k`.
-
-    Inserting a sweep that contains an existing entry of the same group replaces
-    it (the wider sweep answers strictly more queries at the same storage cost).
-    ``capacity`` bounds the number of retained sweeps; zero disables the cache.
-    """
-
-    def __init__(self, fingerprint: str, capacity: int = DEFAULT_RESULT_CACHE_CAPACITY) -> None:
-        if capacity < 0:
-            raise ValueError("the result-cache capacity cannot be negative")
-        self._fingerprint = fingerprint
-        self._capacity = capacity
-        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
-        #: Containment hits / misses / insertions / LRU evictions, session-wide.
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def capacity(self) -> int:
-        return self._capacity
-
-    def _key(self, group_key: tuple, k_min: int, k_max: int) -> tuple:
-        return (self._fingerprint, group_key, k_min, k_max)
-
-    def lookup(self, group_key: tuple, k_min: int, k_max: int) -> DetectionResult | None:
-        """The cached covering result for ``[k_min, k_max]``, or ``None``.
-
-        The returned result may cover a wider range than asked; restrict it.
-        """
-        for key, entry in self._entries.items():
-            entry_fingerprint, entry_group, entry_min, entry_max = key
-            if entry_group == group_key and entry_min <= k_min and k_max <= entry_max:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return entry.result
-        self.misses += 1
-        return None
-
-    def insert(self, group_key: tuple, query: DetectionQuery, result: DetectionResult) -> None:
-        """Cache the finished covering sweep of ``query`` under its canonical key."""
-        if self._capacity == 0:
-            return
-        # Drop same-group entries the new sweep subsumes (contained ranges).
-        subsumed = [
-            key
-            for key in self._entries
-            if key[1] == group_key and query.k_min <= key[2] and key[3] <= query.k_max
-        ]
-        for key in subsumed:
-            del self._entries[key]
-        self._entries[self._key(group_key, query.k_min, query.k_max)] = _CacheEntry(
-            query=query, result=result
-        )
-        self.insertions += 1
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-
-    def clear(self) -> None:
-        self._entries.clear()
+# The covering-sweep stores (the in-memory LRU this module used to define as
+# ``ResultCache``, the process-wide shared registry and the on-disk backend)
+# live in :mod:`repro.core.result_store`; the names are re-exported above for
+# backwards compatibility and one-stop imports alongside the planner.

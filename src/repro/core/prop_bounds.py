@@ -28,9 +28,8 @@ from repro.core.detector import DetectionParameters, Detector, SearchFn
 from repro.core.engine.parallel import ExecutionConfig
 from repro.core.pattern import Pattern
 from repro.core.pattern_graph import PatternCounter
-from repro.core.result_set import DetectionResult
 from repro.core.stats import SearchStats
-from repro.core.top_down import SearchState, SweepAssembler
+from repro.core.top_down import SearchState, SweepAssembler, SweepFrontier, SweepOutcome
 
 
 class PropBoundsDetector(Detector):
@@ -43,6 +42,7 @@ class PropBoundsDetector(Detector):
     """
 
     name = "PropBounds"
+    resumable = True
 
     def __init__(
         self,
@@ -58,27 +58,63 @@ class PropBoundsDetector(Detector):
             )
         )
 
-    def _run(
+    def _sweep(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> DetectionResult:
+    ) -> SweepOutcome:
+        parameters = self.parameters
+        state = search(parameters.bound, parameters.k_min, parameters.tau_s, stats)
+        sweep = SweepAssembler()
+        sweep.record(parameters.k_min, state)
+        return self._advance(
+            counter, stats, state, sweep, parameters.k_min, parameters.k_min + 1
+        )
+
+    def _resume(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        search: SearchFn,
+        frontier: SweepFrontier,
+    ) -> SweepOutcome:
+        self._check_resume_frontier(frontier, "prop_bounds")
+        # The k-tilde schedule is rebuilt rather than persisted: every pop due at
+        # or before frontier.k has already fired, so each surviving expanded
+        # pattern's first possible violation is the same whether computed at its
+        # last bump or at the frontier — and patterns whose k-tilde fell beyond
+        # the old k_max are scheduled by the larger horizon exactly as a cold
+        # run over the combined range would have scheduled them.
+        return self._advance(
+            counter, stats, frontier.as_state(), SweepAssembler(),
+            frontier.k, self.parameters.k_min,
+        )
+
+    def _advance(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        state: SearchState,
+        sweep: SweepAssembler,
+        schedule_k: int,
+        k_from: int,
+    ) -> SweepOutcome:
+        """Schedule the expanded patterns at ``schedule_k``, then advance the
+        incremental steps over ``[k_from, k_max]``, recording each k."""
         parameters = self.parameters
         bound = parameters.bound
-        sweep = SweepAssembler()
-
-        state = search(bound, parameters.k_min, parameters.tau_s, stats)
         # k-tilde bookkeeping: schedule[k] is the set of expanded patterns whose
         # earliest possible violation is at k; k_tilde_of is the reverse index.
         schedule: dict[int, set[Pattern]] = defaultdict(set)
         k_tilde_of: dict[Pattern, int] = {}
         for pattern, count in state.expanded.items():
-            self._schedule(bound, state, schedule, k_tilde_of, pattern, count, parameters.k_min,
+            self._schedule(bound, state, schedule, k_tilde_of, pattern, count, schedule_k,
                            counter.dataset_size, stats)
-        sweep.record(parameters.k_min, state)
-
-        for k in range(parameters.k_min + 1, parameters.k_max + 1):
+        for k in range(k_from, parameters.k_max + 1):
             self._incremental_step(counter, bound, state, schedule, k_tilde_of, k, stats)
             sweep.record(k, state)
-        return sweep.finish()
+        sweep.capture_frontier(
+            SweepFrontier.from_state("prop_bounds", parameters.k_max, state)
+        )
+        return sweep.finish_outcome()
 
     # -- k-tilde bookkeeping ---------------------------------------------------
     def _schedule(

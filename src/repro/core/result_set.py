@@ -227,6 +227,18 @@ class DetectionResult(Mapping[int, frozenset[Pattern]]):
             {k: frozenset(self._per_k[k]) for k in range(k_min, k_max + 1)}
         )
 
+    def merged_with(self, other: "DetectionResult") -> "DetectionResult":
+        """The union of two sweeps' per-k sets (``other`` wins on a shared k).
+
+        This is the stitching primitive behind frontier extension: a cached
+        covering sweep over ``[a, j]`` merged with the freshly computed suffix
+        ``(j, k_max]`` yields the covering sweep over ``[a, k_max]``.  Both
+        inputs are frozen, so the merged result never aliases either.
+        """
+        combined: dict[int, frozenset[Pattern]] = dict(self._per_k)
+        combined.update(other._per_k)
+        return DetectionResult(combined)
+
     def all_groups(self) -> frozenset[Pattern]:
         """Union of the detected groups over every ``k``."""
         union: set[Pattern] = set()

@@ -1,23 +1,31 @@
-"""JSON serialisation of patterns, bounds, detection results and reports.
+"""JSON serialisation of patterns, bounds, detection results, reports and sweeps.
 
 A detection run over a large dataset can take a while; persisting its output lets an
 analyst re-load the detected groups later (e.g. to run the Shapley analysis of
 Section V, or to render a dashboard) without re-running the search.  The format is
 plain JSON so the results can also be consumed outside Python.
 
-Two payload shapes share one file format:
+Three payload shapes share one file-format family (the version number names the
+generation at which each shape was introduced):
 
 * a *result* payload (``result_to_dict``) — just the per-k pattern sets, format
-  version :data:`FORMAT_VERSION`;
+  version :data:`FORMAT_VERSION` (v1);
 * a *report* payload (``report_to_dict``) — the result payload plus the algorithm
   name, the full parameters (with a structured, machine-readable bound
   specification), the search statistics and the per-group context.  Report
-  payloads additionally record :data:`REPORT_FORMAT_VERSION`; version 2 is where
-  the bound became structured (version-1 files stored ``repr(bound)``, which
-  cannot be parsed back).
+  payloads additionally record :data:`REPORT_FORMAT_VERSION` (v2, where the
+  bound became structured; version-1 files stored ``repr(bound)``, which cannot
+  be parsed back);
+* a *sweep* payload (``sweep_to_dict``, :data:`SWEEP_FORMAT_VERSION` = v3) — one
+  finished covering k-sweep as stored by the persistent result store
+  (:mod:`repro.core.result_store`): the dataset fingerprint, the canonical
+  query that produced the sweep, the per-k result sets and the
+  :class:`~repro.core.top_down.SweepFrontier` from which the sweep can be
+  extended to a larger ``k_max`` in another session or process.
 
-``load_result`` reads the per-k groups of either shape; :func:`load_report`
-round-trips the full report payload into a :class:`LoadedReport`.
+``load_result`` reads the per-k groups of the result/report shapes;
+:func:`load_report` round-trips the full report payload into a
+:class:`LoadedReport`; :func:`sweep_from_dict` round-trips a store entry.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.core.detector import DetectionParameters, DetectionReport
 from repro.core.pattern import Pattern
 from repro.core.result_set import DetectedGroup, DetectionResult
 from repro.core.stats import SearchStats
+from repro.core.top_down import SweepFrontier
 from repro.exceptions import DetectionError
 
 #: Format identifier written into every file, bumped on incompatible changes.
@@ -42,6 +51,12 @@ FORMAT_VERSION = 1
 #: serialisation; version-1 report files stored only ``repr(bound)`` and cannot
 #: be loaded back into parameters.
 REPORT_FORMAT_VERSION = 2
+
+#: Format identifier of the *sweep* payload — one persistent result-store entry
+#: (canonical query + per-k result sets + resume frontier).  Version 3 is the
+#: generation at which sweeps became storable values; loaders treat any other
+#: version as unusable (the store degrades it to a cache miss).
+SWEEP_FORMAT_VERSION = 3
 
 
 def pattern_to_dict(pattern: Pattern) -> dict[str, object]:
@@ -153,6 +168,180 @@ def stats_from_dict(data: Mapping[str, object]) -> SearchStats:
         else:
             stats.extra[name] = value
     return stats
+
+
+# -- sweep frontiers ---------------------------------------------------------------
+def _pattern_counts_to_list(counts: Mapping[Pattern, int]) -> list[list[object]]:
+    """Serialise a ``{pattern: int}`` mapping deterministically (sorted by repr)."""
+    return [
+        [pattern_to_dict(pattern), int(value)]
+        for pattern, value in sorted(
+            counts.items(), key=lambda item: item[0].describe()
+        )
+    ]
+
+
+def _pattern_counts_from_list(data) -> dict[Pattern, int]:
+    if not isinstance(data, list):
+        raise DetectionError("malformed frontier payload: expected a list of pairs")
+    counts: dict[Pattern, int] = {}
+    for entry in data:
+        try:
+            pattern_raw, value = entry
+        except (TypeError, ValueError):
+            raise DetectionError("malformed frontier payload: entry is not a pair") from None
+        counts[pattern_from_dict(pattern_raw)] = int(value)
+    return counts
+
+
+def frontier_to_dict(frontier: SweepFrontier) -> dict[str, object]:
+    """A JSON-compatible representation of a sweep's resume frontier."""
+    return {
+        "algorithm": frontier.algorithm,
+        "k": int(frontier.k),
+        "below": _pattern_counts_to_list(frontier.below),
+        "expanded": _pattern_counts_to_list(frontier.expanded),
+        "sizes": _pattern_counts_to_list(frontier.sizes),
+    }
+
+
+def frontier_from_dict(data: Mapping[str, object]) -> SweepFrontier:
+    """Inverse of :func:`frontier_to_dict`."""
+    if not isinstance(data, Mapping):
+        raise DetectionError("malformed frontier payload: expected a mapping")
+    try:
+        algorithm = str(data["algorithm"])
+        k = int(data["k"])
+        below_raw = data["below"]
+        expanded_raw = data["expanded"]
+        sizes_raw = data["sizes"]
+    except (KeyError, TypeError, ValueError):
+        # A structurally incomplete frontier must fail loudly (the store turns
+        # this into a cache miss) rather than resume from a partial state.
+        raise DetectionError(
+            "malformed frontier payload: missing 'algorithm', numeric 'k' or "
+            "one of the below/expanded/sizes state tables"
+        ) from None
+    frontier = SweepFrontier(
+        algorithm=algorithm,
+        k=k,
+        below=_pattern_counts_from_list(below_raw),
+        expanded=_pattern_counts_from_list(expanded_raw),
+        sizes=_pattern_counts_from_list(sizes_raw),
+    )
+    # The incremental detectors index sizes by their tracked patterns; a file
+    # that lost entries would crash (or corrupt) a resume, so reject it here.
+    tracked = frontier.below.keys() | frontier.expanded.keys()
+    if not tracked <= frontier.sizes.keys():
+        raise DetectionError(
+            "malformed frontier payload: below/expanded patterns missing from 'sizes'"
+        )
+    return frontier
+
+
+# -- sweeps (persistent result-store entries) --------------------------------------
+def sweep_to_dict(
+    fingerprint: str,
+    query,
+    result: DetectionResult,
+    frontier: SweepFrontier | None,
+) -> dict[str, object]:
+    """One persistent result-store entry (format v3).
+
+    ``query`` is the canonical :class:`~repro.core.planner.DetectionQuery` whose
+    covering sweep is being stored; its bound must serialise structurally
+    (callable schedules and third-party bounds raise, exactly as the store's
+    storability check predicts).
+    """
+    bound_payload = bound_to_dict(query.bound)
+    if bound_payload.get("type") == "opaque" or any(
+        isinstance(value, Mapping) and value.get("kind") == "opaque"
+        for value in bound_payload.values()
+    ):
+        raise DetectionError(
+            "sweeps with callable or third-party bounds have no canonical "
+            "serial form and cannot be persisted"
+        )
+    payload: dict[str, object] = {
+        "sweep_format_version": SWEEP_FORMAT_VERSION,
+        "fingerprint": str(fingerprint),
+        "query": {
+            "algorithm": query.resolved_algorithm(),
+            "tau_s": int(query.tau_s),
+            "k_min": int(query.k_min),
+            "k_max": int(query.k_max),
+            "bound": bound_payload,
+        },
+        "result": result_to_dict(result),
+        "frontier": None if frontier is None else frontier_to_dict(frontier),
+    }
+    if getattr(query, "beta", None) is not None:
+        payload["query"]["beta"] = float(query.beta)
+    return payload
+
+
+def sweep_from_dict(data: Mapping[str, object]):
+    """Inverse of :func:`sweep_to_dict`.
+
+    Returns ``(fingerprint, query, result, frontier)``.  Raises
+    :class:`DetectionError` on any malformed, truncated or stale-format payload —
+    the persistent store catches that and degrades the entry to a cache miss.
+    """
+    # Imported lazily: the planner imports the result store, which imports this
+    # module, so a top-level import would be circular.  By the time a sweep is
+    # deserialised the planner is always fully loaded.
+    from repro.core.planner import DetectionQuery
+
+    if not isinstance(data, Mapping):
+        raise DetectionError("malformed sweep payload: expected a mapping")
+    version = data.get("sweep_format_version")
+    if version != SWEEP_FORMAT_VERSION:
+        raise DetectionError(
+            f"unsupported sweep format version {version!r}; expected {SWEEP_FORMAT_VERSION}"
+        )
+    fingerprint = data.get("fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        raise DetectionError("malformed sweep payload: missing dataset fingerprint")
+    query_raw = data.get("query")
+    if not isinstance(query_raw, Mapping):
+        raise DetectionError("malformed sweep payload: missing 'query' mapping")
+    try:
+        beta = query_raw.get("beta")
+        query = DetectionQuery(
+            bound=bound_from_dict(query_raw["bound"]),
+            tau_s=int(query_raw["tau_s"]),
+            k_min=int(query_raw["k_min"]),
+            k_max=int(query_raw["k_max"]),
+            algorithm=str(query_raw["algorithm"]),
+            beta=None if beta is None else float(beta),
+        )
+    except KeyError as error:
+        raise DetectionError(f"malformed sweep payload: missing query field {error}") from None
+    except (TypeError, ValueError) as error:
+        raise DetectionError(f"malformed sweep payload: {error}") from None
+    result_raw = data.get("result")
+    if not isinstance(result_raw, Mapping):
+        raise DetectionError("malformed sweep payload: missing 'result' mapping")
+    result = result_from_dict(result_raw)
+    if not result.covers(query.k_min, query.k_max):
+        raise DetectionError(
+            "malformed sweep payload: the stored result does not cover the "
+            "query's k range"
+        )
+    frontier_raw = data.get("frontier")
+    frontier = None if frontier_raw is None else frontier_from_dict(frontier_raw)
+    if frontier is not None and (
+        frontier.k != query.k_max
+        or frontier.algorithm != query.resolved_algorithm()
+    ):
+        # An edited/corrupted frontier that no longer matches its own query
+        # would blow up (or corrupt) a resume; reject the whole entry so the
+        # store degrades it to a miss.
+        raise DetectionError(
+            "malformed sweep payload: the frontier does not match the query "
+            "(expected algorithm/k_max consistency)"
+        )
+    return fingerprint, query, result, frontier
 
 
 # -- results ----------------------------------------------------------------------

@@ -27,12 +27,18 @@ infrastructure warm across queries:
   ranges are merged into one covering k-sweep, and the resulting plan steps are
   ordered by ``tau_s`` so per-``tau_s`` shard assignments and sibling-block
   caches are reused back-to-back (:meth:`run` is simply a one-query plan);
-* a **result cache** (:class:`~repro.core.planner.ResultCache`): finished
-  covering sweeps are kept, keyed by canonical query +
-  :meth:`~repro.data.dataset.Dataset.fingerprint`, and any later query whose k
-  range is contained in a cached sweep is answered by
+* a **pluggable result store** (:mod:`repro.core.result_store`): finished
+  covering sweeps are kept — together with the
+  :class:`~repro.core.top_down.SweepFrontier` they ended on — keyed by
+  canonical query + :meth:`~repro.data.dataset.Dataset.fingerprint`.  Any later
+  query whose k range is contained in a cached sweep is answered by
   :meth:`~repro.core.result_set.DetectionResult.restrict_k` without running a
-  single search;
+  single search; a query that only *partially* overlaps a cached sweep resumes
+  its frontier over the uncovered suffix (an
+  :class:`~repro.core.planner.ExtendStep`).  The default store is a private
+  in-memory LRU; pass ``store=shared_result_store()`` or a
+  :class:`~repro.core.result_store.DiskResultStore` to reuse sweeps across
+  sessions and processes;
 * per-query stats isolation: every served query gets its own
   :class:`~repro.core.stats.SearchStats`, with engine counters attributed
   through snapshot deltas.  Summing any engine counter over a batch's reports
@@ -67,14 +73,15 @@ from repro.core.planner import (
     DEFAULT_RESULT_CACHE_CAPACITY,
     DETECTOR_CLASSES,
     DetectionQuery,
+    ExtendStep,
     PlanStep,
     QueryPlan,
-    ResultCache,
     plan_queries,
 )
 from repro.core.result_set import DetectionResult
+from repro.core.result_store import InMemoryResultStore, ResultStore
 from repro.core.stats import SearchStats
-from repro.core.top_down import top_down_search
+from repro.core.top_down import SweepOutcome, top_down_search
 from repro.data.dataset import Dataset
 from repro.exceptions import DetectionError, ExecutorBrokenError
 from repro.ranking.base import Ranker, Ranking
@@ -107,10 +114,23 @@ class AuditSession:
         reference counter for parity runs.  Must have been built over the same
         dataset and ranking (validated cheaply via
         :meth:`~repro.data.dataset.Dataset.fingerprint`).
+    store:
+        The :class:`~repro.core.result_store.ResultStore` serving and receiving
+        this session's finished covering sweeps.  ``None`` (the default) gives
+        the session a private in-memory LRU
+        (:class:`~repro.core.result_store.InMemoryResultStore` of
+        ``result_cache_capacity`` entries).  Pass
+        :func:`~repro.core.result_store.shared_result_store` to share sweeps
+        across every session in the process, or a
+        :class:`~repro.core.result_store.DiskResultStore` to persist them
+        across processes — repeated audits of the same published ranking then
+        start warm, including partial (frontier-extension) hits.  Stores key
+        every entry by :meth:`~repro.data.dataset.Dataset.fingerprint`, so a
+        shared store can never leak results between different datasets.
     result_cache_capacity:
-        How many finished covering k-sweeps the session retains for
-        containment-based reuse (:class:`~repro.core.planner.ResultCache`);
-        ``0`` disables cross-query result reuse (every plan step executes).
+        Capacity of the private in-memory store created when ``store`` is not
+        given; ``0`` disables cross-query result reuse (every plan step
+        executes).  Ignored when an explicit ``store`` is passed.
 
     Use as a context manager, or call :meth:`close` explicitly to shut the worker
     pool down; :meth:`close` is idempotent and reports remain readable after it.
@@ -122,6 +142,7 @@ class AuditSession:
         ranking: Ranking | Ranker,
         execution: ExecutionConfig | None = None,
         counter: PatternCounter | None = None,
+        store: ResultStore | None = None,
         result_cache_capacity: int = DEFAULT_RESULT_CACHE_CAPACITY,
     ) -> None:
         self._execution = execution if execution is not None else ExecutionConfig()
@@ -144,11 +165,9 @@ class AuditSession:
         self._dataset = dataset
         self._ranking = ranking
         self._counter = counter
-        # The result cache is created lazily on the first planned query: its key
-        # space includes the dataset fingerprint, and hashing the dataset is
-        # wasted work for sessions that only ever call run_detector.
-        self._result_cache_capacity = result_cache_capacity
-        self._result_cache: ResultCache | None = None
+        self._store = store if store is not None else InMemoryResultStore(
+            capacity=result_cache_capacity
+        )
         self._executor = None
         # Once the parallel path proved unavailable (restricted platform,
         # non-engine counter) or lost a worker, stay serial: respawning on every
@@ -181,13 +200,9 @@ class AuditSession:
         return self._queries_run
 
     @property
-    def result_cache(self) -> ResultCache:
-        """The session's cross-query result cache (created lazily)."""
-        if self._result_cache is None:
-            self._result_cache = ResultCache(
-                self._dataset.fingerprint(), self._result_cache_capacity
-            )
-        return self._result_cache
+    def result_cache(self) -> ResultStore:
+        """The store serving this session's sweeps (private, shared or on-disk)."""
+        return self._store
 
     @property
     def closed(self) -> bool:
@@ -235,7 +250,11 @@ class AuditSession:
         batch = list(queries)
         for query in batch:
             self._parameters_for(query).validate_for(self._dataset)
-        plan = plan_queries(batch)
+        fingerprint = self._dataset.fingerprint()
+        plan = plan_queries(
+            batch,
+            coverage=lambda group_key: self._store.coverage(fingerprint, group_key),
+        )
         reports: list[DetectionReport | None] = [None] * len(batch)
         for step in plan.steps:
             self._run_step(plan, step, reports)
@@ -260,14 +279,16 @@ class AuditSession:
         if self._closed:
             raise DetectionError("the audit session has been closed")
         detector.parameters.validate_for(self._dataset)
-        result, stats = self._execute(detector)
+        outcome, stats = self._execute(detector)
         self._queries_run += 1
-        return DetectionReport(detector.name, detector.parameters, result, stats, self._counter)
+        return DetectionReport(
+            detector.name, detector.parameters, outcome.result, stats, self._counter
+        )
 
     # -- internals ---------------------------------------------------------------
     def _parameters_for(self, query: DetectionQuery) -> DetectionParameters:
         return DetectionParameters(
-            bound=query.bound,
+            bound=query.effective_bound(),
             tau_s=query.tau_s,
             k_min=query.k_min,
             k_max=query.k_max,
@@ -280,21 +301,32 @@ class AuditSession:
         step: PlanStep,
         reports: list[DetectionReport | None],
     ) -> None:
-        """Serve every query of one plan step (from the cache or one real sweep)."""
-        cache = self.result_cache
-        covering = cache.lookup(step.group_key, step.query.k_min, step.query.k_max)
+        """Serve every query of one plan step: a containment hit from the store,
+        a frontier extension of a cached sweep, or one real covering run."""
+        store = self.result_cache
+        fingerprint = self._dataset.fingerprint()
+        covering = store.lookup(
+            fingerprint, step.group_key, step.query.k_min, step.query.k_max
+        )
         algorithm = DETECTOR_CLASSES[step.query.resolved_algorithm()].name
         served = list(step.serves)
         if covering is None:
-            # Cache miss: run the covering sweep once.  The primary query (first
-            # of the step in batch order) carries the sweep's real engine
-            # counters; everything else it serves is accounted as a cache hit,
-            # so summing any engine counter over the batch's reports still
-            # equals the work the engine actually performed.
-            detector = step.query.build_detector(self._execution)
-            covering, stats = self._execute(detector)
-            cache.insert(step.group_key, step.query, covering)
-            stats.result_cache_misses += 1
+            stats = None
+            if isinstance(step, ExtendStep):
+                covering, stats = self._extend_step(step, fingerprint)
+            if covering is None:
+                # Store miss: run the covering sweep once.  The primary query
+                # (first of the step in batch order) carries the sweep's real
+                # engine counters; everything else it serves is accounted as a
+                # cache hit, so summing any engine counter over the batch's
+                # reports still equals the work the engine actually performed.
+                detector = step.query.build_detector(self._execution)
+                outcome, stats = self._execute(detector)
+                covering = outcome.result
+                store.insert(
+                    fingerprint, step.group_key, step.query, covering, outcome.frontier
+                )
+                stats.result_cache_misses += 1
             stats.plan_merged_queries += len(step.serves) - 1
             primary = step.primary_index
             reports[primary] = self._assemble_report(
@@ -308,6 +340,59 @@ class AuditSession:
             report = self._assemble_report(plan.queries[index], algorithm, covering, stats)
             report.stats.elapsed_seconds = time.perf_counter() - started
             reports[index] = report
+
+    def _extend_step(
+        self, step: ExtendStep, fingerprint: str
+    ) -> tuple[DetectionResult | None, SearchStats | None]:
+        """Serve an :class:`~repro.core.planner.ExtendStep` by resuming a cached
+        sweep's frontier over the uncovered k suffix.
+
+        Returns ``(None, None)`` when the planned base is no longer usable (it
+        was evicted since planning, carries no frontier, or the detector cannot
+        resume) — the caller then falls back to a full covering run, so a stale
+        plan degrades in cost, never in correctness.  On success the merged
+        covering sweep replaces the base in the store under the widened range,
+        and the step's primary stats carry the extension provenance
+        (``result_cache_partial_hits``, ``extended_k_values``) alongside the
+        suffix's real engine counters.
+        """
+        store = self.result_cache
+        entry = store.extendable(
+            fingerprint, step.group_key, step.query.k_min, step.query.k_max
+        )
+        if entry is None or entry.frontier is None:
+            return None, None
+        suffix_query = DetectionQuery(
+            bound=step.query.bound,
+            tau_s=step.query.tau_s,
+            k_min=entry.k_max + 1,
+            k_max=step.query.k_max,
+            algorithm=step.query.resolved_algorithm(),
+            beta=step.query.beta,
+        )
+        detector = suffix_query.build_detector(self._execution)
+        if not detector.resumable:
+            return None, None
+        try:
+            outcome, stats = self._execute(detector, resume_from=entry.frontier)
+        except DetectionError:
+            # A frontier the detector refuses (wrong algorithm/k, a defective
+            # entry from an out-of-process store) must degrade the step to a
+            # full covering run, never fail the query.
+            return None, None
+        covering = entry.result.merged_with(outcome.result)
+        widened = DetectionQuery(
+            bound=step.query.bound,
+            tau_s=step.query.tau_s,
+            k_min=entry.k_min,
+            k_max=step.query.k_max,
+            algorithm=step.query.resolved_algorithm(),
+            beta=step.query.beta,
+        )
+        store.insert(fingerprint, step.group_key, widened, covering, outcome.frontier)
+        stats.result_cache_partial_hits += 1
+        stats.extended_k_values += step.query.k_max - entry.k_max
+        return covering, stats
 
     def _assemble_report(
         self,
@@ -326,8 +411,15 @@ class AuditSession:
         report.query = query
         return report
 
-    def _execute(self, detector: Detector) -> tuple[DetectionResult, SearchStats]:
-        """Run ``detector`` over the warm counter (and executor) with fresh stats."""
+    def _execute(
+        self, detector: Detector, resume_from=None
+    ) -> tuple[SweepOutcome, SearchStats]:
+        """Run ``detector`` over the warm counter (and executor) with fresh stats.
+
+        ``resume_from`` carries a :class:`~repro.core.top_down.SweepFrontier`
+        when the run extends a cached sweep instead of starting cold; the
+        detector then computes only its (suffix) k range.
+        """
         counter = self._counter
         stats = SearchStats()
         # A warm counter carries cumulative instrumentation; snapshot it so the
@@ -338,7 +430,7 @@ class AuditSession:
         started = time.perf_counter()
         executor = self._ensure_executor(detector, stats)
         try:
-            result = self._run_with(detector, stats, executor)
+            outcome = self._run_with(detector, stats, executor, resume_from)
         except ExecutorBrokenError:
             # A worker died mid-query: drop the pool, reattach to the serial
             # in-process path and re-run this query from scratch.  Fresh stats and
@@ -358,17 +450,19 @@ class AuditSession:
             stats.extra.update(lifecycle)
             stats.bump("executor_reattach")
             baseline = self._stats_baseline()
-            result = self._run_with(detector, stats, executor=None)
+            outcome = self._run_with(detector, stats, executor=None, resume_from=resume_from)
         stats.elapsed_seconds = time.perf_counter() - started
         publish = getattr(counter, "publish_stats", None)
         if publish is not None:
             publish(stats, since=baseline)
-        return result, stats
+        return outcome, stats
     def _stats_baseline(self):
         snapshot = getattr(self._counter, "stats_snapshot", None)
         return snapshot() if snapshot is not None else None
 
-    def _run_with(self, detector: Detector, stats: SearchStats, executor):
+    def _run_with(
+        self, detector: Detector, stats: SearchStats, executor, resume_from=None
+    ) -> SweepOutcome:
         counter = self._counter
         if executor is not None:
             search = executor.search
@@ -379,7 +473,9 @@ class AuditSession:
                 # `classification` only matters across process boundaries.
                 return top_down_search(counter, bound, k, tau_s, run_stats)
 
-        return detector._run(counter, stats, search)
+        if resume_from is not None:
+            return detector._resume(counter, stats, search, resume_from)
+        return detector._sweep(counter, stats, search)
 
     def _ensure_executor(self, detector: Detector, stats: SearchStats):
         """The shared executor for this query, or ``None`` for the serial path.
@@ -474,7 +570,13 @@ def run_queries(
     ranking: Ranking | Ranker,
     queries: Sequence[DetectionQuery],
     execution: ExecutionConfig | None = None,
+    store: ResultStore | None = None,
 ) -> list[DetectionReport]:
-    """Run a batch of queries through one temporary :class:`AuditSession`."""
-    with AuditSession(dataset, ranking, execution=execution) as session:
+    """Run a batch of queries through one temporary :class:`AuditSession`.
+
+    ``store`` optionally names a persistent
+    :class:`~repro.core.result_store.ResultStore` (shared registry or on-disk)
+    so even one-shot batches reuse — and contribute — cached sweeps.
+    """
+    with AuditSession(dataset, ranking, execution=execution, store=store) as session:
         return session.run_many(queries)

@@ -46,6 +46,13 @@ class SearchStats:
     #: Session result-cache misses: the query (or its covering plan step) had to
     #: execute a real sweep before the cache could serve it.
     result_cache_misses: int = 0
+    #: Session result-store partial hits: the query's covering step was served by
+    #: *extending* a cached sweep's frontier over the uncovered k suffix instead
+    #: of re-running the whole covering range.
+    result_cache_partial_hits: int = 0
+    #: Number of k values computed via frontier extension (the suffix lengths of
+    #: all partial hits attributed to this query's stats).
+    extended_k_values: int = 0
     #: Queries the planner folded into this run's covering k-sweep beyond the one
     #: reported here (exact duplicates plus merged overlapping/nested k-ranges).
     plan_merged_queries: int = 0
@@ -99,6 +106,8 @@ class SearchStats:
             "representation_switches": self.representation_switches,
             "result_cache_hits": self.result_cache_hits,
             "result_cache_misses": self.result_cache_misses,
+            "result_cache_partial_hits": self.result_cache_partial_hits,
+            "extended_k_values": self.extended_k_values,
             "plan_merged_queries": self.plan_merged_queries,
             "elapsed_seconds": self.elapsed_seconds,
         }

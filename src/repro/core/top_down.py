@@ -75,6 +75,80 @@ class SearchState:
         return self
 
 
+@dataclass
+class SweepFrontier:
+    """The compact resume state a finished k-sweep leaves behind.
+
+    A sweep over ``[k_min, k_max]`` that captured its frontier can later *extend*
+    to a larger ``k_max'`` by computing only the uncovered suffix
+    ``(k_max, k_max']`` — bit-identically to a cold run over the full range,
+    because each algorithm's state evolution at ``k > k_max`` depends only on
+    the classification it reached at ``k_max``:
+
+    * **IterTD** restarts a full search per ``k``, so its frontier carries no
+      state at all — resuming simply runs the suffix searches;
+    * **GlobalBounds** resumes its incremental steps from the final
+      classification (``below``/``expanded`` counts plus the cached sizes),
+      which is independent of where the sweep started;
+    * **PropBounds** additionally needs its k-tilde schedule, but that is
+      *recomputed* at resume time from the expanded counts: every scheduled
+      re-examination due at or before the frontier ``k`` has already fired, so
+      the first possible violation of each surviving expanded pattern is the
+      same whether computed at its last bump or at the frontier — and patterns
+      whose k-tilde fell beyond the old ``k_max`` are picked up by the larger
+      horizon exactly as a cold run would schedule them;
+    * **UpperBounds** stores its k-independent candidate set (the most specific
+      substantial patterns with their sizes) in ``sizes``, so an extension
+      skips the candidate enumeration entirely.
+
+    Frontiers are value objects: resuming copies the dictionaries before
+    mutating (:meth:`as_state`), so one cached frontier can seed any number of
+    extensions, and they serialise through
+    :func:`~repro.core.serialization.frontier_to_dict` for the on-disk result
+    store.
+    """
+
+    #: Resolved algorithm name this frontier belongs to (e.g. ``"global_bounds"``).
+    algorithm: str
+    #: The last ``k`` the sweep computed; extensions start at ``k + 1``.
+    k: int
+    below: dict[Pattern, int] = field(default_factory=dict)
+    expanded: dict[Pattern, int] = field(default_factory=dict)
+    sizes: dict[Pattern, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_state(cls, algorithm: str, k: int, state: SearchState) -> "SweepFrontier":
+        """Snapshot ``state`` at ``k`` (dictionaries are copied, not aliased)."""
+        return cls(
+            algorithm=algorithm,
+            k=k,
+            below=dict(state.below),
+            expanded=dict(state.expanded),
+            sizes=dict(state.sizes),
+        )
+
+    def as_state(self) -> SearchState:
+        """An independent :class:`SearchState` seeded from this frontier.
+
+        The returned state owns fresh dictionaries, so resumed sweeps never
+        mutate a cached frontier (which may seed further extensions later).
+        """
+        return SearchState(
+            below=dict(self.below),
+            expanded=dict(self.expanded),
+            sizes=dict(self.sizes),
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """What one executed k-sweep produced: its result and (when the algorithm
+    supports resuming) the frontier from which the sweep can be extended."""
+
+    result: DetectionResult
+    frontier: SweepFrontier | None = None
+
+
 class SweepAssembler:
     """Shared per-k result assembly of one (possibly covering) k-sweep.
 
@@ -87,10 +161,16 @@ class SweepAssembler:
     sub-range query through :meth:`DetectionResult.restrict_k` bit-identically to
     running that query alone — the invariant the query planner's merged plans and
     the session result cache's containment hits rely on.
+
+    A detector that supports resumable sweeps additionally captures a
+    :class:`SweepFrontier` (:meth:`capture_frontier`) before finishing;
+    :meth:`finish_outcome` bundles both into a :class:`SweepOutcome` for the
+    session's result store.
     """
 
     def __init__(self) -> None:
         self._per_k: dict[int, frozenset[Pattern]] = {}
+        self._frontier: SweepFrontier | None = None
 
     def record(self, k: int, state: SearchState) -> None:
         """Snapshot the most general below-bound patterns of ``state`` at ``k``."""
@@ -100,9 +180,21 @@ class SweepAssembler:
         """Record an explicitly assembled pattern set (non-search detectors)."""
         self._per_k[k] = frozenset(patterns)
 
+    def capture_frontier(self, frontier: SweepFrontier) -> None:
+        """Attach the resume state of the finished sweep."""
+        self._frontier = frontier
+
+    @property
+    def frontier(self) -> SweepFrontier | None:
+        return self._frontier
+
     def finish(self) -> DetectionResult:
         """The recorded sweep as a range-sliceable :class:`DetectionResult`."""
         return DetectionResult(self._per_k)
+
+    def finish_outcome(self) -> SweepOutcome:
+        """The recorded sweep plus its captured frontier (if any)."""
+        return SweepOutcome(result=self.finish(), frontier=self._frontier)
 
 
 def constant_lower_bound(bound: BoundSpec, k: int, dataset_size: int) -> float | None:

@@ -23,7 +23,7 @@ from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.pattern_graph import PatternCounter
 from repro.core.result_set import DetectionResult, minimal_patterns
 from repro.core.stats import SearchStats
-from repro.core.top_down import SweepAssembler
+from repro.core.top_down import SweepAssembler, SweepFrontier, SweepOutcome
 from repro.exceptions import DetectionError
 
 
@@ -98,6 +98,7 @@ class UpperBoundsDetector(Detector):
     # The candidate enumeration is a plain size-threshold traversal, not a
     # bound-driven top-down search; no full searches means no parallel executor.
     uses_search = False
+    resumable = True
 
     def __init__(
         self,
@@ -115,13 +116,34 @@ class UpperBoundsDetector(Detector):
         if bound.upper(k_min, 1, 1) is None:
             raise DetectionError("UpperBoundsDetector requires a bound specification with upper bounds")
 
-    def _run(
+    def _sweep(
         self, counter: PatternCounter, stats: SearchStats, search: SearchFn
-    ) -> DetectionResult:
+    ) -> SweepOutcome:
+        candidates = most_specific_substantial(counter, self.parameters.tau_s, stats)
+        return self._evaluate(counter, stats, candidates)
+
+    def _resume(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        search: SearchFn,
+        frontier: SweepFrontier,
+    ) -> SweepOutcome:
+        self._check_resume_frontier(frontier, "upper_bounds")
+        # The candidate set (most specific substantial patterns) is independent
+        # of k, so an extension reuses the frontier's cached candidates and only
+        # evaluates the suffix k values.
+        return self._evaluate(counter, stats, dict(frontier.sizes))
+
+    def _evaluate(
+        self,
+        counter: PatternCounter,
+        stats: SearchStats,
+        candidates: dict[Pattern, int],
+    ) -> SweepOutcome:
         parameters = self.parameters
         bound = parameters.bound
         dataset_size = counter.dataset_size
-        candidates = most_specific_substantial(counter, parameters.tau_s, stats)
         sweep = SweepAssembler()
         for k in parameters.k_range():
             violating = set()
@@ -131,7 +153,14 @@ class UpperBoundsDetector(Detector):
                 if bound.violates_upper(count, k, size, dataset_size):
                     violating.add(pattern)
             sweep.record_patterns(k, violating)
-        return sweep.finish()
+        # The candidate sizes ride in the frontier's `sizes` slot so extensions
+        # skip the substantial-pattern enumeration entirely.
+        sweep.capture_frontier(
+            SweepFrontier(
+                algorithm="upper_bounds", k=parameters.k_max, sizes=dict(candidates)
+            )
+        )
+        return sweep.finish_outcome()
 
 
 def most_general_above_upper(

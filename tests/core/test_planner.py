@@ -30,6 +30,7 @@ from repro.core.bounds import (
 from repro.core.engine.parallel import ExecutionConfig
 from repro.core.planner import (
     DetectionQuery,
+    ExtendStep,
     ResultCache,
     bound_key,
     canonical_query_key,
@@ -37,6 +38,7 @@ from repro.core.planner import (
     query_group_key,
 )
 from repro.core.result_set import DetectionResult
+from repro.core.top_down import SweepFrontier
 from repro.core.session import AuditSession, detect_biased_groups
 from repro.data.synthetic import SyntheticSpec, synthetic_dataset
 from repro.ranking.base import PrecomputedRanker
@@ -228,54 +230,194 @@ class TestPlanQueries:
         assert "2 queries -> 1 steps" in text and "1 deduped" in text
 
 
-# -- the result cache -----------------------------------------------------------------
+# -- partial-hit (extension) planning -------------------------------------------------
+class TestExtendPlanning:
+    GROUP = query_group_key(DetectionQuery(FLAT, 2, 2, 20))
+
+    @staticmethod
+    def _coverage(ranges_by_group):
+        return lambda group_key: ranges_by_group.get(group_key, ())
+
+    def test_partial_overlap_plans_an_extend_step(self):
+        coverage = self._coverage({self.GROUP: [(2, 20)]})
+        plan = plan_queries([DetectionQuery(FLAT, 2, 5, 40)], coverage=coverage)
+        assert plan.n_steps == 1
+        step = plan.steps[0]
+        assert isinstance(step, ExtendStep)
+        assert (step.base_k_min, step.base_k_max) == (2, 20)
+        assert step.suffix_k_values == 20
+        assert plan.extension_steps == 1
+        assert "extends cached [2, 20]" in plan.describe()
+
+    def test_adjacent_cached_range_extends_but_gap_does_not(self):
+        adjacent = plan_queries(
+            [DetectionQuery(FLAT, 2, 21, 40)],
+            coverage=self._coverage({self.GROUP: [(2, 20)]}),
+        )
+        assert isinstance(adjacent.steps[0], ExtendStep)
+        gapped = plan_queries(
+            [DetectionQuery(FLAT, 2, 25, 40)],
+            coverage=self._coverage({self.GROUP: [(2, 20)]}),
+        )
+        assert not isinstance(gapped.steps[0], ExtendStep)
+
+    def test_contained_range_is_not_planned_as_extension(self):
+        # A cached sweep that already contains the step is a containment hit at
+        # execution time; planning an extension would be wasted work.
+        plan = plan_queries(
+            [DetectionQuery(FLAT, 2, 5, 15)],
+            coverage=self._coverage({self.GROUP: [(2, 20)]}),
+        )
+        assert not isinstance(plan.steps[0], ExtendStep)
+
+    def test_cached_range_starting_too_late_cannot_extend(self):
+        # The base must cover the step's k_min: frontiers only extend upward.
+        plan = plan_queries(
+            [DetectionQuery(FLAT, 2, 2, 40)],
+            coverage=self._coverage({self.GROUP: [(5, 20)]}),
+        )
+        assert not isinstance(plan.steps[0], ExtendStep)
+
+    def test_latest_ending_base_wins(self):
+        plan = plan_queries(
+            [DetectionQuery(FLAT, 2, 2, 40)],
+            coverage=self._coverage({self.GROUP: [(2, 10), (2, 25), (2, 18)]}),
+        )
+        step = plan.steps[0]
+        assert isinstance(step, ExtendStep) and step.base_k_max == 25
+
+    def test_merged_ranges_extend_as_one_step(self):
+        coverage = self._coverage({self.GROUP: [(2, 20)]})
+        plan = plan_queries(
+            [DetectionQuery(FLAT, 2, 5, 30), DetectionQuery(FLAT, 2, 25, 45)],
+            coverage=coverage,
+        )
+        assert plan.n_steps == 1
+        step = plan.steps[0]
+        assert isinstance(step, ExtendStep)
+        assert (step.query.k_min, step.query.k_max) == (5, 45)
+        assert step.serves == (0, 1)
+
+
+# -- upper-bound queries through the planner ------------------------------------------
+class TestUpperBoundQueries:
+    def test_beta_levels_group_and_dedupe(self):
+        base = ProportionalBoundSpec(alpha=0.9)
+        q_a = DetectionQuery(base, 2, 2, 20, "upper_bounds", beta=1.8)
+        q_b = DetectionQuery(ProportionalBoundSpec(alpha=0.9), 2, 2, 20, "upper_bounds", beta=1.8)
+        q_c = DetectionQuery(base, 2, 2, 20, "upper_bounds", beta=2.5)
+        assert canonical_query_key(q_a) == canonical_query_key(q_b)
+        assert canonical_query_key(q_a) != canonical_query_key(q_c)
+        plan = plan_queries([q_a, q_b, q_c])
+        assert plan.n_steps == 2 and plan.deduped_queries == 1
+
+    def test_beta_field_equals_baked_in_level(self):
+        # The canonical form (beta on the query) and an ad-hoc bound object with
+        # the level baked in describe the same audit, so they share a group.
+        via_beta = DetectionQuery(ProportionalBoundSpec(alpha=0.9), 2, 2, 20,
+                                  "upper_bounds", beta=1.8)
+        baked_in = DetectionQuery(ProportionalBoundSpec(alpha=0.9, beta=1.8), 2, 2, 20,
+                                  "upper_bounds")
+        assert canonical_query_key(via_beta) == canonical_query_key(baked_in)
+
+    def test_upper_bound_k_ranges_merge(self):
+        bound = ProportionalBoundSpec(alpha=0.9)
+        plan = plan_queries([
+            DetectionQuery(bound, 2, 2, 20, "upper_bounds", beta=1.8),
+            DetectionQuery(bound, 2, 10, 35, "upper_bounds", beta=1.8),
+        ])
+        assert plan.n_steps == 1
+        assert (plan.steps[0].query.k_min, plan.steps[0].query.k_max) == (2, 35)
+
+    def test_upper_bounds_query_requires_an_upper_level(self):
+        with pytest.raises(ValueError):
+            DetectionQuery(ProportionalBoundSpec(alpha=0.9), 2, 2, 20, "upper_bounds")
+        with pytest.raises(ValueError):
+            DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 20, "upper_bounds")
+
+    def test_auto_never_resolves_to_upper_bounds(self):
+        query = DetectionQuery(ProportionalBoundSpec(alpha=0.9, beta=1.8), 2, 2, 20)
+        assert query.resolved_algorithm() == "prop_bounds"
+
+
+# -- the result store (in-memory LRU backend) -----------------------------------------
 class TestResultCache:
     KEY = query_group_key(DetectionQuery(FLAT, 2, 2, 20))
+    FP = "fp"
 
     @staticmethod
     def _result(k_min: int, k_max: int) -> DetectionResult:
         return DetectionResult({k: frozenset() for k in range(k_min, k_max + 1)})
 
     def test_containment_hit_and_miss(self):
-        cache = ResultCache("fp")
-        assert cache.lookup(self.KEY, 2, 20) is None
-        cache.insert(self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
-        assert cache.lookup(self.KEY, 2, 20) is not None     # exact
-        assert cache.lookup(self.KEY, 5, 15) is not None     # nested
-        assert cache.lookup(self.KEY, 2, 21) is None         # wider
-        assert cache.lookup(("other",), 2, 20) is None       # other group
-        assert cache.hits == 2 and cache.misses == 3
+        cache = ResultCache()
+        assert cache.lookup(self.FP, self.KEY, 2, 20) is None
+        cache.insert(self.FP, self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
+        assert cache.lookup(self.FP, self.KEY, 2, 20) is not None     # exact
+        assert cache.lookup(self.FP, self.KEY, 5, 15) is not None     # nested
+        assert cache.lookup(self.FP, self.KEY, 2, 21) is None         # wider
+        assert cache.lookup(self.FP, ("other",), 2, 20) is None       # other group
+        assert cache.lookup("other-fp", self.KEY, 2, 20) is None      # other dataset
+        assert cache.hits == 2 and cache.misses == 4
         assert cache.insertions == 1
 
     def test_wider_insert_subsumes_narrower_entries(self):
-        cache = ResultCache("fp")
-        cache.insert(self.KEY, DetectionQuery(FLAT, 2, 5, 15), self._result(5, 15))
-        cache.insert(self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
+        cache = ResultCache()
+        cache.insert(self.FP, self.KEY, DetectionQuery(FLAT, 2, 5, 15), self._result(5, 15))
+        cache.insert(self.FP, self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
         assert len(cache) == 1
-        assert cache.lookup(self.KEY, 5, 15).covers(2, 20)
+        assert cache.lookup(self.FP, self.KEY, 5, 15).covers(2, 20)
 
     def test_lru_eviction(self):
-        cache = ResultCache("fp", capacity=2)
+        cache = ResultCache(capacity=2)
         other = query_group_key(DetectionQuery(FLAT, 3, 2, 20))
         third = query_group_key(DetectionQuery(FLAT, 4, 2, 20))
-        cache.insert(self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
-        cache.insert(other, DetectionQuery(FLAT, 3, 2, 20), self._result(2, 20))
-        assert cache.lookup(self.KEY, 2, 20) is not None  # refresh the first entry
-        cache.insert(third, DetectionQuery(FLAT, 4, 2, 20), self._result(2, 20))
+        cache.insert(self.FP, self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
+        cache.insert(self.FP, other, DetectionQuery(FLAT, 3, 2, 20), self._result(2, 20))
+        assert cache.lookup(self.FP, self.KEY, 2, 20) is not None  # refresh the first
+        cache.insert(self.FP, third, DetectionQuery(FLAT, 4, 2, 20), self._result(2, 20))
         assert len(cache) == 2
         assert cache.evictions == 1
-        assert cache.lookup(other, 2, 20) is None         # the LRU entry went
-        assert cache.lookup(self.KEY, 2, 20) is not None  # the refreshed one stayed
+        assert cache.lookup(self.FP, other, 2, 20) is None         # the LRU entry went
+        assert cache.lookup(self.FP, self.KEY, 2, 20) is not None  # the refreshed stayed
 
     def test_capacity_zero_disables_storage(self):
-        cache = ResultCache("fp", capacity=0)
-        cache.insert(self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
+        cache = ResultCache(capacity=0)
+        cache.insert(self.FP, self.KEY, DetectionQuery(FLAT, 2, 2, 20), self._result(2, 20))
         assert len(cache) == 0
-        assert cache.lookup(self.KEY, 2, 20) is None
+        assert cache.lookup(self.FP, self.KEY, 2, 20) is None
 
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
-            ResultCache("fp", capacity=-1)
+            ResultCache(capacity=-1)
+
+    def test_extendable_prefers_latest_ending_frontier_base(self):
+        cache = ResultCache()
+        short = DetectionQuery(FLAT, 2, 2, 10)
+        longer = DetectionQuery(FLAT, 2, 2, 20)
+        frontier = SweepFrontier(algorithm="global_bounds", k=10)
+        cache.insert(self.FP, self.KEY, short, self._result(2, 10), frontier)
+        cache.insert(
+            self.FP, ("other",), DetectionQuery(FLAT, 3, 2, 30), self._result(2, 30),
+            SweepFrontier(algorithm="global_bounds", k=30),
+        )
+        entry = cache.extendable(self.FP, self.KEY, 2, 40)
+        assert entry is not None and entry.k_max == 10
+        assert cache.partial_hits == 1
+        wider_frontier = SweepFrontier(algorithm="global_bounds", k=20)
+        cache.insert(self.FP, self.KEY, longer, self._result(2, 20), wider_frontier)
+        entry = cache.extendable(self.FP, self.KEY, 2, 40)
+        assert entry is not None and entry.k_max == 20
+        # No base qualifies when the asked range starts past the cached end + 1
+        # (a gap would be bridged) or is already contained.
+        assert cache.extendable(self.FP, self.KEY, 25, 40) is None
+        assert cache.extendable(self.FP, self.KEY, 5, 15) is None
+
+    def test_frontierless_entries_never_offered_for_extension(self):
+        cache = ResultCache()
+        cache.insert(self.FP, self.KEY, DetectionQuery(FLAT, 2, 2, 10), self._result(2, 10))
+        assert cache.extendable(self.FP, self.KEY, 2, 40) is None
+        assert cache.coverage(self.FP, self.KEY) == ()
 
 
 # -- planner-served sessions ----------------------------------------------------------

@@ -86,7 +86,11 @@ class TestDetectionQuery:
 
     def test_build_detector_matches_registry(self):
         for name, detector_class in DETECTOR_CLASSES.items():
-            query = DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 5, name)
+            # upper_bounds queries need an upper level; beta is its canonical form.
+            beta = 4.0 if name == "upper_bounds" else None
+            query = DetectionQuery(
+                GlobalBoundSpec(lower_bounds=2.0), 2, 2, 5, name, beta=beta
+            )
             detector = query.build_detector()
             assert isinstance(detector, detector_class)
             assert detector.parameters.tau_s == 2
