@@ -1,0 +1,154 @@
+"""Deterministic fault injection for the parallel execution supervisor.
+
+The supervisor in :mod:`repro.core.engine.parallel` recovers from worker
+deaths, hung workers, and lost result messages.  Testing those paths with real
+races would be flaky, so this module provides a declarative :class:`FaultPlan`
+that is threaded through ``ExecutionConfig`` into every worker process.  Each
+worker counts the tasks it receives and fires the matching :class:`FaultAction`
+at an exact, reproducible point — "kill worker 0 on its 2nd task of
+incarnation 0" — which makes every recovery path exercisable by seeded tests
+instead of luck.
+
+Addressing model
+----------------
+An action matches a task when all of these hold:
+
+``worker``
+    Worker index (shard index) the action targets, or ``None`` for any worker.
+``at_task``
+    1-based ordinal of the task *within the worker's current incarnation*.
+    Respawned workers restart their count, so an action with ``incarnation=0``
+    cannot re-fire after the supervisor replaces the worker.
+``incarnation``
+    Which respawn generation of the worker the action applies to (0 = the
+    original process), or ``None`` for every incarnation (a "persistent"
+    fault that eventually exhausts the restart budget).
+``generation``
+    Which executor the action applies to.  Sessions number the executors they
+    create (0 = the first pool, 1 = the circuit breaker's probe pool, ...), so
+    a fault pinned to ``generation=0`` disappears once the session recovers a
+    fresh executor.  ``None`` matches every executor.
+
+Store corruption (``FaultPlan.corrupt_store_inserts``) is handled separately
+by :class:`repro.core.result_store.DiskResultStore`, which truncates the n-th
+file it persists so load-time quarantine can be exercised deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "KILL",
+    "HANG",
+    "STALL_HEARTBEATS",
+    "DROP_RESULT",
+    "FaultAction",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+#: Kill the worker process with ``os._exit`` when the matching task arrives.
+KILL = "kill"
+#: Stop heartbeating and sleep ``seconds`` before touching the task (a stuck
+#: worker: alive but silent — exercises the heartbeat watchdog).
+HANG = "hang"
+#: Stop heartbeating for ``seconds`` but keep computing.  With ``seconds``
+#: below the heartbeat timeout this is a *negative* fault: the supervisor must
+#: not restart a briefly silent worker that still delivers its result.
+STALL_HEARTBEATS = "stall_heartbeats"
+#: Swallow the task without producing a result message (a lost message —
+#: exercises ``shard_timeout`` re-dispatch).
+DROP_RESULT = "drop_result"
+
+_KINDS = frozenset({KILL, HANG, STALL_HEARTBEATS, DROP_RESULT})
+
+#: Exit code used by :data:`KILL` so test failures are distinguishable from
+#: ordinary crashes in worker logs.
+FAULT_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault (see the module docstring for the addressing model)."""
+
+    kind: str
+    worker: int | None = None
+    at_task: int = 1
+    incarnation: int | None = 0
+    generation: int | None = 0
+    #: Duration of :data:`HANG` / :data:`STALL_HEARTBEATS` silences.
+    seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {sorted(_KINDS)}")
+        if self.at_task < 1:
+            raise ValueError("at_task is a 1-based task ordinal and must be >= 1")
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+    def applies_to(self, worker: int, incarnation: int, generation: int) -> bool:
+        """Whether this action is armed for the given worker process identity."""
+        return (
+            (self.worker is None or self.worker == worker)
+            and (self.incarnation is None or self.incarnation == incarnation)
+            and (self.generation is None or self.generation == generation)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of faults, threaded through ``ExecutionConfig``.
+
+    ``actions`` drive worker-side faults; ``corrupt_store_inserts`` lists the
+    1-based ordinals of :class:`~repro.core.result_store.DiskResultStore`
+    inserts whose on-disk file should be corrupted after the atomic write.
+    """
+
+    actions: tuple[FaultAction, ...] = ()
+    corrupt_store_inserts: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+        object.__setattr__(self, "corrupt_store_inserts", tuple(self.corrupt_store_inserts))
+        if any(ordinal < 1 for ordinal in self.corrupt_store_inserts):
+            raise ValueError("corrupt_store_inserts are 1-based insert ordinals")
+
+
+def kill_worker(worker: int, at_task: int = 1, *, incarnation: int | None = 0, generation: int | None = 0) -> FaultAction:
+    """Kill ``worker`` the moment it receives its ``at_task``-th task."""
+    return FaultAction(KILL, worker=worker, at_task=at_task, incarnation=incarnation, generation=generation)
+
+
+def hang_worker(worker: int, at_task: int = 1, seconds: float = 60.0, *, incarnation: int | None = 0, generation: int | None = 0) -> FaultAction:
+    """Make ``worker`` go silent (no heartbeats, no result) for ``seconds``."""
+    return FaultAction(HANG, worker=worker, at_task=at_task, incarnation=incarnation, generation=generation, seconds=seconds)
+
+
+def drop_result(worker: int, at_task: int = 1, *, incarnation: int | None = 0, generation: int | None = 0) -> FaultAction:
+    """Make ``worker`` swallow one task without sending its result message."""
+    return FaultAction(DROP_RESULT, worker=worker, at_task=at_task, incarnation=incarnation, generation=generation)
+
+
+class FaultInjector:
+    """Worker-side interpreter of a :class:`FaultPlan`.
+
+    Each worker process builds one injector from (plan, worker index,
+    incarnation, executor generation) and calls :meth:`next_action` per task;
+    the first action whose ``at_task`` matches the running task count fires.
+    The injector is deliberately dumb — all determinism lives in the plan.
+    """
+
+    def __init__(self, plan: FaultPlan | None, worker: int, incarnation: int, generation: int) -> None:
+        actions = () if plan is None else plan.actions
+        self._armed = tuple(a for a in actions if a.applies_to(worker, incarnation, generation))
+        self._task_number = 0
+
+    def next_action(self) -> FaultAction | None:
+        """Register one received task and return the fault to apply, if any."""
+        self._task_number += 1
+        for action in self._armed:
+            if action.at_task == self._task_number:
+                return action
+        return None

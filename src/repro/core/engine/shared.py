@@ -181,8 +181,21 @@ class SharedDatasetView:
     def is_owner(self) -> bool:
         return self._owner
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def handle(self) -> SharedDatasetHandle:
-        """The picklable descriptor workers use to attach."""
+        """The picklable descriptor workers use to attach.
+
+        Refuses to hand out a handle once the view is closed: the owner's
+        ``close()`` *unlinks* the segments, so a handle minted afterwards would
+        name memory that no longer exists and every respawned worker built from
+        it would die attaching.  The supervisor's respawn path depends on this
+        guard failing loudly instead.
+        """
+        if self._closed:
+            raise OSError("the shared dataset view is closed; its segments are unlinked")
         return self._handle
 
     # -- lifecycle --------------------------------------------------------------

@@ -47,9 +47,15 @@ import json
 import os
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
+
+try:  # pragma: no cover - present on every POSIX build
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms skip locking
+    _fcntl = None
 
 from repro.core.result_set import DetectionResult
 from repro.core.serialization import sweep_from_dict, sweep_to_dict
@@ -337,27 +343,93 @@ class DiskResultStore(ResultStore):
     ``unreadable_entries``), never an error, and a fingerprint mismatch can
     never serve another dataset's results.
 
+    A file that fails validation is additionally *quarantined*: renamed to
+    ``<name>.json.corrupt`` (counted in ``quarantined_entries``) so later
+    lookups neither re-parse nor re-miss on it, and the defective payload stays
+    on disk for inspection instead of being silently shadowed forever.
+
+    ``max_entries`` bounds the store: after each insert the least recently
+    *used* files are evicted (LRU by mtime — served entries are touched on
+    every hit, so hot sweeps survive).  ``None`` (the default) keeps the store
+    unbounded, matching the pre-bound behaviour.
+
     Writes are atomic (temp file + ``os.replace``), so concurrent processes
-    sharing a store directory see only complete entries.  Inserting a sweep that
-    contains an existing entry of the same group replaces it.
+    sharing a store directory see only complete entries; insert/evict/quarantine
+    additionally serialise through an advisory ``flock`` on ``<directory>/.lock``
+    (where the platform provides :mod:`fcntl`), so concurrent writers cannot
+    interleave a subsumption unlink with an eviction scan.  Inserting a sweep
+    that contains an existing entry of the same group replaces it.
+
+    ``fault_plan`` threads the deterministic fault harness
+    (:class:`~repro.core.engine.faults.FaultPlan`) into the store: the inserts
+    whose 1-based ordinal appears in ``fault_plan.corrupt_store_inserts`` get
+    their freshly written file truncated to garbage, which is how the
+    quarantine path is exercised by reproducible tests.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        max_entries: int | None = None,
+        fault_plan=None,
+    ) -> None:
         super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        self._max_entries = max_entries
+        self._fault_plan = fault_plan
+        self._insert_ordinal = 0
         #: Entries skipped because their bound has no stable serial form.
         self.skipped_inserts = 0
         #: Files that failed validation (corrupt JSON, stale format, wrong
         #: fingerprint/group) and were treated as misses.
         self.unreadable_entries = 0
+        #: Files renamed to ``*.corrupt`` after failing validation.
+        self.quarantined_entries = 0
+
+    @property
+    def store_quarantined(self) -> int:
+        """Alias of :attr:`quarantined_entries` (the counter's public name)."""
+        return self.quarantined_entries
 
     @property
     def directory(self) -> Path:
         return self._directory
 
+    @property
+    def max_entries(self) -> int | None:
+        return self._max_entries
+
     def __len__(self) -> int:
         return sum(1 for _ in self._directory.glob("*.json"))
+
+    @contextmanager
+    def _writer_lock(self):
+        """Advisory cross-process lock for insert/evict/quarantine sequences.
+
+        Readers stay lock-free (atomic replace keeps every visible file
+        complete); only mutations serialise.  On platforms without ``fcntl``
+        the context is a no-op and atomic writes remain the only guarantee.
+        """
+        if _fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(self._directory / ".lock", "w") as lock_file:
+            _fcntl.flock(lock_file, _fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                _fcntl.flock(lock_file, _fcntl.LOCK_UN)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a defective file out of the lookup namespace (``*.json.corrupt``)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - lost a race with another process
+            return
+        self.quarantined_entries += 1
 
     @staticmethod
     def _digest(fingerprint: str, group_key: tuple) -> str:
@@ -395,6 +467,7 @@ class DiskResultStore(ResultStore):
             entry_fingerprint, query, result, frontier = sweep_from_dict(payload)
         except (OSError, json.JSONDecodeError, DetectionError):
             self.unreadable_entries += 1
+            self._quarantine(path)
             return None
         if (
             entry_fingerprint != fingerprint
@@ -402,8 +475,11 @@ class DiskResultStore(ResultStore):
             or (query.k_min, query.k_max) != (entry_min, entry_max)
         ):
             # A renamed/copied file, a digest collision or a payload edited to
-            # claim another dataset or range: never serve it.
+            # claim another dataset or range: never serve it.  The defect is
+            # permanent (re-parsing cannot fix a wrong fingerprint), so the
+            # file is quarantined like a corrupt one.
             self.unreadable_entries += 1
+            self._quarantine(path)
             return None
         return StoreEntry(query=query, result=result, frontier=frontier)
 
@@ -416,6 +492,7 @@ class DiskResultStore(ResultStore):
                 entry = self._load(path, fingerprint, group_key, entry_min, entry_max)
                 if entry is not None:
                     self.hits += 1
+                    self._touch(path)
                     return entry.result
         self.misses += 1
         return None
@@ -436,8 +513,17 @@ class DiskResultStore(ResultStore):
             entry = self._load(path, fingerprint, group_key, entry_min, entry_max)
             if entry is not None and entry.frontier is not None:
                 self.partial_hits += 1
+                self._touch(path)
                 return entry
         return None
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh a served file's mtime: the eviction policy's notion of 'used'."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry evicted/quarantined meanwhile
+            pass
 
     def insert(
         self,
@@ -461,18 +547,47 @@ class DiskResultStore(ResultStore):
             return
         path = self._directory / f"{digest}_{query.k_min}_{query.k_max}.json"
         temporary = path.with_name(path.name + f".tmp{os.getpid()}")
-        temporary.write_text(
-            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
-        )
-        os.replace(temporary, path)
-        self.insertions += 1
-        # Drop same-group entries the new sweep subsumes (contained ranges).
-        for entry_min, entry_max, other in self._candidates(digest):
-            if other != path and query.k_min <= entry_min and entry_max <= query.k_max:
-                try:
-                    other.unlink()
-                except OSError:
-                    pass
+        with self._writer_lock():
+            temporary.write_text(
+                json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(temporary, path)
+            self.insertions += 1
+            self._insert_ordinal += 1
+            corrupt_inserts = getattr(self._fault_plan, "corrupt_store_inserts", ())
+            if self._insert_ordinal in corrupt_inserts:
+                # Fault injection: tear the freshly persisted entry so the
+                # load-time quarantine path runs under test control.
+                path.write_text("{ torn mid-write", encoding="utf-8")
+            # Drop same-group entries the new sweep subsumes (contained ranges).
+            for entry_min, entry_max, other in self._candidates(digest):
+                if other != path and query.k_min <= entry_min and entry_max <= query.k_max:
+                    try:
+                        other.unlink()
+                    except OSError:
+                        pass
+            self._evict_over_bound()
+
+    def _evict_over_bound(self) -> None:
+        """Unlink least-recently-used entries until within ``max_entries``."""
+        if self._max_entries is None:
+            return
+        entries = []
+        for path in self._directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime_ns, path))
+            except OSError:  # pragma: no cover - concurrent unlink
+                continue
+        excess = len(entries) - self._max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent unlink
+                continue
+            self.evictions += 1
 
     def coverage(self, fingerprint: str, group_key: tuple) -> tuple[tuple[int, int], ...]:
         # Frontier presence is only known after loading; report every range and
@@ -485,11 +600,13 @@ class DiskResultStore(ResultStore):
         )
 
     def clear(self) -> None:
-        for path in self._directory.glob("*.json"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        with self._writer_lock():
+            for pattern in ("*.json", "*.json.corrupt"):
+                for path in self._directory.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
 
 def iter_backends() -> Iterable[type[ResultStore]]:

@@ -48,10 +48,18 @@ infrastructure warm across queries:
 
 Queries are first-class values — a frozen :class:`DetectionQuery` names the bound,
 ``tau_s``, the k range and the algorithm, so query sets can be built, stored and
-replayed.  If a pool worker dies mid-query the session closes the executor,
-re-runs the interrupted query on the serial in-process path (results are
-bit-identical by construction) and stays serial from then on; the event is
-recorded as ``executor_reattach`` on the query's stats.
+replayed.  Worker faults are routine, not terminal: the executor's supervisor
+respawns a dead or hung worker and re-dispatches its shard transparently
+(``worker_restarts`` / ``shard_retries`` on the query's stats).  Only when one
+search exhausts ``ExecutionConfig.max_worker_restarts`` does the session's
+*circuit breaker* open: the executor is closed, the interrupted query re-runs on
+the serial in-process path (results are bit-identical by construction, recorded
+as ``executor_reattach`` + ``degraded_queries``), and later queries stay serial
+for ``ExecutionConfig.breaker_cooldown`` seconds — after which the session
+probes a fresh executor and, on success, restores parallel service
+(``executor_recoveries``).  ``ExecutionConfig.query_deadline`` bounds every
+query's wall clock on both paths via
+:class:`~repro.exceptions.QueryTimeoutError`.
 
 The one-shot API is a thin wrapper over a single-query session, so both paths
 return bit-identical reports — the planner and cache change how often searches
@@ -83,7 +91,7 @@ from repro.core.result_store import InMemoryResultStore, ResultStore
 from repro.core.stats import SearchStats
 from repro.core.top_down import SweepOutcome, top_down_search
 from repro.data.dataset import Dataset
-from repro.exceptions import DetectionError, ExecutorBrokenError
+from repro.exceptions import DetectionError, ExecutorBrokenError, QueryTimeoutError
 from repro.ranking.base import Ranker, Ranking
 
 __all__ = [
@@ -134,6 +142,20 @@ class AuditSession:
 
     Use as a context manager, or call :meth:`close` explicitly to shut the worker
     pool down; :meth:`close` is idempotent and reports remain readable after it.
+
+    **Recovery behaviour.** Worker faults inside a query are handled by the
+    executor's supervisor (respawn + shard re-dispatch, bit-identical results);
+    they surface only as ``worker_restarts`` / ``shard_retries`` /
+    ``heartbeat_timeouts`` counters.  If a search exhausts its restart budget
+    the session's circuit breaker opens: the interrupted query re-runs serially
+    (``executor_reattach``), queries are served serially for
+    ``ExecutionConfig.breaker_cooldown`` seconds (each counted in
+    ``degraded_queries``, see :attr:`degraded`), and the first query after the
+    cooldown probes a fresh pool (``executor_recoveries`` on success).
+    ``ExecutionConfig.query_deadline`` bounds each query's wall clock on both
+    paths; a timed-out query raises
+    :class:`~repro.exceptions.QueryTimeoutError` with its partial stats and
+    leaves the session fully usable.
     """
 
     def __init__(
@@ -169,10 +191,18 @@ class AuditSession:
             capacity=result_cache_capacity
         )
         self._executor = None
-        # Once the parallel path proved unavailable (restricted platform,
-        # non-engine counter) or lost a worker, stay serial: respawning on every
-        # query would turn a permanent condition into a per-query stall.
-        self._parallel_disabled = False
+        # Once the parallel path proved *unavailable* (restricted platform,
+        # non-engine counter), stay serial for good: probing on every query
+        # would turn a permanent condition into a per-query stall.
+        self._parallel_unavailable = False
+        # Circuit breaker: a fault that survived the executor's restart budget
+        # opens the breaker until this monotonic timestamp.  While open, queries
+        # are served serially (bit-identical) and counted as degraded; once the
+        # cooldown expires the next eligible query probes a fresh executor.
+        self._degraded_until: float | None = None
+        # Executors created over the session's lifetime; doubles as the fault
+        # harness's `generation` so injected faults can be pinned to one pool.
+        self._executors_created = 0
         self._closed = False
         self._queries_run = 0
 
@@ -207,6 +237,18 @@ class AuditSession:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the circuit breaker is open (serving serially after faults).
+
+        Degradation is temporary: once ``ExecutionConfig.breaker_cooldown`` has
+        elapsed, the next query that wants parallelism probes a fresh executor
+        and — on success — clears this flag (``executor_recoveries`` on its
+        stats).  A permanently serial session (no shared memory, naive counter)
+        is *not* degraded; it reports ``parallel_fallback`` instead.
+        """
+        return self._degraded_until is not None
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else ("warm" if self._executor else "open")
@@ -375,6 +417,11 @@ class AuditSession:
             return None, None
         try:
             outcome, stats = self._execute(detector, resume_from=entry.frontier)
+        except QueryTimeoutError:
+            # The deadline is a property of the query, not of this serving
+            # strategy: falling back to the (strictly more expensive) full
+            # covering run would only bury the timeout, so it propagates.
+            raise
         except DetectionError:
             # A frontier the detector refuses (wrong algorithm/k, a defective
             # entry from an out-of-process store) must degrade the step to a
@@ -426,51 +473,102 @@ class AuditSession:
         # report only attributes this query's work.
         baseline = self._stats_baseline()
         # Executor startup (shared-memory publication, pool spawn) is part of what
-        # the query that triggers it costs, so the clock starts before it.
+        # the query that triggers it costs, so the clock starts before it.  The
+        # query deadline starts with the clock and is *not* reset by a serial
+        # re-run — a query has one wall-clock budget, however it is served.
         started = time.perf_counter()
+        deadline = None
+        if self._execution.query_deadline is not None:
+            deadline = time.monotonic() + self._execution.query_deadline
         executor = self._ensure_executor(detector, stats)
         try:
-            outcome = self._run_with(detector, stats, executor, resume_from)
-        except ExecutorBrokenError:
-            # A worker died mid-query: drop the pool, reattach to the serial
-            # in-process path and re-run this query from scratch.  Fresh stats and
-            # a fresh engine baseline keep the report's counters attributable to
-            # the (successful) serial run; the wall clock keeps the original start
-            # so the failed parallel attempt is honestly part of the elapsed time.
-            # The lifecycle counters survive the reset: if this query created the
-            # executor, the publish/spawn really happened and the session-wide
-            # sums must still account for it.
-            lifecycle = {
-                name: stats.extra[name]
-                for name in ("shm_publishes", "pool_spawns")
-                if name in stats.extra
-            }
-            self._discard_executor()
-            stats = SearchStats()
-            stats.extra.update(lifecycle)
-            stats.bump("executor_reattach")
-            baseline = self._stats_baseline()
-            outcome = self._run_with(detector, stats, executor=None, resume_from=resume_from)
+            try:
+                outcome = self._run_with(detector, stats, executor, resume_from, deadline)
+            except ExecutorBrokenError:
+                # One search burned through the restart budget: open the circuit
+                # breaker, reattach to the serial in-process path and re-run this
+                # query from scratch.  Fresh stats and a fresh engine baseline
+                # keep the report's counters attributable to the (successful)
+                # serial run; the wall clock keeps the original start so the
+                # failed parallel attempt is honestly part of the elapsed time.
+                # The lifecycle counters survive the reset: if this query created
+                # the executor, the publish/spawn really happened and the
+                # session-wide sums must still account for it.
+                lifecycle = {
+                    name: stats.extra[name]
+                    for name in ("shm_publishes", "pool_spawns")
+                    if name in stats.extra
+                }
+                # The fault counters also survive: the restarts and timeouts
+                # the supervisor burned before giving up are this query's
+                # story, not the serial rerun's.
+                faults_seen = (
+                    stats.worker_restarts,
+                    stats.shard_retries,
+                    stats.heartbeat_timeouts,
+                )
+                self._enter_degraded()
+                stats = SearchStats()
+                stats.extra.update(lifecycle)
+                stats.worker_restarts, stats.shard_retries, stats.heartbeat_timeouts = faults_seen
+                stats.bump("executor_reattach")
+                stats.degraded_queries += 1
+                baseline = self._stats_baseline()
+                outcome = self._run_with(
+                    detector, stats, None, resume_from, deadline
+                )
+        except QueryTimeoutError as error:
+            # Attach the partial-progress stats (elapsed time and engine deltas
+            # included) so callers can see how far the query got.  The executor
+            # and the session stay healthy — a deadline is a per-query verdict,
+            # not a fault.
+            if isinstance(error.stats, SearchStats):
+                stats = error.stats
+            stats.elapsed_seconds = time.perf_counter() - started
+            publish = getattr(counter, "publish_stats", None)
+            if publish is not None:
+                publish(stats, since=baseline)
+            error.stats = stats
+            raise
         stats.elapsed_seconds = time.perf_counter() - started
         publish = getattr(counter, "publish_stats", None)
         if publish is not None:
             publish(stats, since=baseline)
         return outcome, stats
+
     def _stats_baseline(self):
         snapshot = getattr(self._counter, "stats_snapshot", None)
         return snapshot() if snapshot is not None else None
 
     def _run_with(
-        self, detector: Detector, stats: SearchStats, executor, resume_from=None
+        self,
+        detector: Detector,
+        stats: SearchStats,
+        executor,
+        resume_from=None,
+        deadline: float | None = None,
     ) -> SweepOutcome:
         counter = self._counter
         if executor is not None:
-            search = executor.search
+
+            def search(bound, k, tau_s, run_stats, classification=True):
+                return executor.search(
+                    bound, k, tau_s, run_stats, classification, deadline=deadline
+                )
+
         else:
 
             def search(bound, k, tau_s, run_stats, classification=True):
                 # The in-process search always has the full state at hand;
-                # `classification` only matters across process boundaries.
+                # `classification` only matters across process boundaries.  The
+                # deadline is enforced between full searches — the serial loop
+                # has no supervisor to interrupt one mid-expansion.
+                if deadline is not None and time.monotonic() > deadline:
+                    run_stats.query_deadline_exceeded += 1
+                    raise QueryTimeoutError(
+                        f"query deadline exceeded before the k={k} search",
+                        stats=run_stats,
+                    )
                 return top_down_search(counter, bound, k, tau_s, run_stats)
 
         if resume_from is not None:
@@ -494,24 +592,40 @@ class AuditSession:
         if self._executor is not None:
             if self._executor.healthy:
                 return self._executor
-            self._discard_executor()
-        if self._parallel_disabled:
+            self._enter_degraded()
+        if self._parallel_unavailable:
             stats.bump("parallel_fallback")
             return None
-        executor = create_parallel_executor(self._counter, self._execution)
+        if self._degraded_until is not None:
+            if time.monotonic() < self._degraded_until:
+                # Breaker open: serve serially, count it, and wait the cooldown
+                # out before spending another pool spawn on a probe.
+                stats.degraded_queries += 1
+                return None
+            # Cooldown over — this query is the probe.  Success below closes the
+            # breaker; a probe that cannot even build a pool downgrades to the
+            # permanent fallback path.
+        executor = create_parallel_executor(
+            self._counter, self._execution, generation=self._executors_created
+        )
         if executor is None:
             # Restricted platform or non-engine counter: record the fallback and
             # run the unchanged serial path — for this and every later query.
-            self._parallel_disabled = True
+            self._parallel_unavailable = True
             stats.bump("parallel_fallback")
             return None
+        self._executors_created += 1
+        if self._degraded_until is not None:
+            self._degraded_until = None
+            stats.executor_recoveries += 1
         stats.bump("shm_publishes")
         stats.bump("pool_spawns")
         self._executor = executor
         return executor
 
-    def _discard_executor(self) -> None:
-        self._parallel_disabled = True
+    def _enter_degraded(self) -> None:
+        """Open the circuit breaker: close the pool, serve serially for a while."""
+        self._degraded_until = time.monotonic() + self._execution.breaker_cooldown
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.close()

@@ -56,6 +56,23 @@ class SearchStats:
     #: Queries the planner folded into this run's covering k-sweep beyond the one
     #: reported here (exact duplicates plus merged overlapping/nested k-ranges).
     plan_merged_queries: int = 0
+    #: Worker processes respawned by the executor's supervisor (death, heartbeat
+    #: loss, or shard timeout) during this run.
+    worker_restarts: int = 0
+    #: Shard tasks re-dispatched to a respawned worker after a fault.
+    shard_retries: int = 0
+    #: Faults detected because a busy worker stopped heartbeating (as opposed to
+    #: its process dying outright).
+    heartbeat_timeouts: int = 0
+    #: Queries aborted by ``ExecutionConfig.query_deadline`` (raises
+    #: :class:`repro.exceptions.QueryTimeoutError`).
+    query_deadline_exceeded: int = 0
+    #: Queries served serially because the session's circuit breaker was open
+    #: (parallel service degraded after exhausting the restart budget).
+    degraded_queries: int = 0
+    #: Successful circuit-breaker probes: a degraded session restored a healthy
+    #: parallel executor after its cooldown.
+    executor_recoveries: int = 0
     #: Wall-clock seconds, filled in by the experiment harness when timing runs.
     elapsed_seconds: float = 0.0
     #: Free-form counters for algorithm-specific events (e.g. k-tilde reschedules).
@@ -109,6 +126,12 @@ class SearchStats:
             "result_cache_partial_hits": self.result_cache_partial_hits,
             "extended_k_values": self.extended_k_values,
             "plan_merged_queries": self.plan_merged_queries,
+            "worker_restarts": self.worker_restarts,
+            "shard_retries": self.shard_retries,
+            "heartbeat_timeouts": self.heartbeat_timeouts,
+            "query_deadline_exceeded": self.query_deadline_exceeded,
+            "degraded_queries": self.degraded_queries,
+            "executor_recoveries": self.executor_recoveries,
             "elapsed_seconds": self.elapsed_seconds,
         }
         flat.update(self.extra)

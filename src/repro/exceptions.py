@@ -54,13 +54,30 @@ class DetectionError(ReproError):
 
 
 class ExecutorBrokenError(DetectionError):
-    """A parallel search executor lost a worker process mid-run.
+    """A parallel search executor exhausted its worker-restart budget.
 
     Raised by :class:`repro.core.engine.parallel.ParallelSearchExecutor` when a
-    worker it is waiting on dies without reporting a result.  The executor is
-    unusable afterwards; session-level callers catch this to close the pool and
-    re-run the interrupted query on the serial in-process path.
+    worker it is waiting on dies (or stops heartbeating) and respawning it more
+    than ``ExecutionConfig.max_worker_restarts`` times within one search did not
+    restore service.  The executor is unusable afterwards; session-level callers
+    catch this to close the pool, re-run the interrupted query on the serial
+    in-process path, and enter a degraded-mode cooldown before probing for a
+    fresh executor.
     """
+
+
+class QueryTimeoutError(DetectionError):
+    """A query exceeded its configured deadline (``ExecutionConfig.query_deadline``).
+
+    The partially accumulated :class:`repro.core.stats.SearchStats` for the
+    timed-out query are attached as :attr:`stats` so callers can inspect how far
+    the search progressed (counters, restarts, cache activity) before the
+    deadline fired.
+    """
+
+    def __init__(self, message: str, stats: object | None = None) -> None:
+        super().__init__(message)
+        self.stats = stats
 
 
 class ModelError(ReproError):

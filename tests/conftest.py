@@ -7,6 +7,10 @@ every code path of the library.
 
 from __future__ import annotations
 
+import faulthandler
+import os
+import signal
+
 import numpy as np
 import pytest
 
@@ -18,6 +22,42 @@ from repro.data.synthetic import SyntheticSpec, synthetic_dataset
 from repro.ranking.base import PrecomputedRanker, Ranking
 from repro.ranking.score import AttributeRanker
 from repro.ranking.workloads import toy_ranker
+
+
+# A hung test (the fault-tolerance suite deliberately wedges worker processes;
+# a supervisor bug could leave the coordinator waiting forever) must fail the
+# run, not stall it.  When the pytest-timeout plugin is installed (CI) it owns
+# the job; otherwise fall back to SIGALRM: dump every thread's traceback and
+# raise in the main thread, so fixtures and context managers still unwind
+# (closing sessions reaps the worker pool — a hard abort would orphan it).
+_TEST_TIMEOUT_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    use_fallback = (
+        _TEST_TIMEOUT_SECONDS > 0
+        and hasattr(signal, "SIGALRM")
+        and not item.config.pluginmanager.hasplugin("timeout")
+    )
+    if not use_fallback:
+        yield
+        return
+
+    def on_timeout(signum, frame):
+        faulthandler.dump_traceback()
+        raise pytest.fail.Exception(
+            f"test exceeded the {_TEST_TIMEOUT_SECONDS:.0f}s timeout "
+            "(REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -468,8 +468,9 @@ class TestParallelExecutorDirect:
             poison = Pattern({"A1": "poison"})
             stale_state = SearchState(below={poison: 99})
             # Epochs start after this value, so the message is from "an earlier
-            # search" by construction — exactly what a shard failure leaves behind.
-            executor._result_queue.put(
+            # search" by construction — exactly what a shard failure leaves behind
+            # (in worker 0's private result queue).
+            executor._result_queues[0].put(
                 ("ok", executor._epoch, 0, (stale_state, SearchStats(), {}))
             )
             state = executor.search(bound, 20, 2, SearchStats())

@@ -441,6 +441,98 @@ json.dump({{
         assert len(names) == 1 and names[0].endswith("_2_30.json")
 
 
+# -- disk-store hygiene: quarantine, size bound, concurrent writers -------------------
+class TestDiskStoreHygiene:
+    def test_corrupt_entry_is_quarantined_not_reparsed(self, tmp_path):
+        """A corrupt file is renamed to *.corrupt on first contact, so later
+        lookups neither re-parse nor re-count it — and the re-run sweep can
+        repopulate the store under the same name."""
+        from repro.core.engine.faults import FaultPlan
+
+        dataset, ranking = _instance(433, 48, [2, 3], 1.0)
+        query = DetectionQuery(FLAT, 2, 2, 30, "global_bounds")
+        # The fault harness tears the first persisted entry mid-write.
+        writer = DiskResultStore(tmp_path, fault_plan=FaultPlan(corrupt_store_inserts=(1,)))
+        with AuditSession(dataset, ranking, store=writer) as session:
+            session.run(query)
+        assert len(writer) == 1  # the torn file is still a *.json at this point
+        store = DiskResultStore(tmp_path)
+        with AuditSession(dataset, ranking, store=store) as session:
+            report = session.run(query)
+        assert report.stats.result_cache_misses == 1
+        assert report.result == _cold(dataset, ranking, query).result
+        assert store.unreadable_entries == 1
+        assert store.quarantined_entries == 1
+        assert store.store_quarantined == 1
+        quarantined = list(tmp_path.glob("*.json.corrupt"))
+        assert len(quarantined) == 1
+        # The miss re-ran the sweep and re-inserted a healthy entry...
+        assert len(store) == 1
+        # ...and a fresh store serves it without touching the quarantined file.
+        fresh = DiskResultStore(tmp_path)
+        with AuditSession(dataset, ranking, store=fresh) as session:
+            served = session.run(query)
+        assert served.stats.result_cache_hits == 1
+        assert fresh.unreadable_entries == 0
+        assert fresh.quarantined_entries == 0
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        """The size bound evicts by mtime, and serving an entry refreshes its
+        mtime — so the recently *used* sweep survives, not the recently written."""
+        import time as time_module
+
+        dataset, ranking = _instance(435, 48, [2, 3], 1.0)
+        store = DiskResultStore(tmp_path, max_entries=2)
+        query_a = DetectionQuery(FLAT, 2, 2, 20, "global_bounds")
+        query_b = DetectionQuery(FLAT, 3, 2, 20, "global_bounds")
+        query_c = DetectionQuery(FLAT, 4, 2, 20, "global_bounds")
+        with AuditSession(dataset, ranking, store=store, result_cache_capacity=0) as session:
+            session.run(query_a)
+            time_module.sleep(0.02)
+            session.run(query_b)
+            time_module.sleep(0.02)
+            # Serve A from disk: the hit touches its file, making B the LRU.
+            served = session.run(DetectionQuery(FLAT, 2, 5, 15, "global_bounds"))
+            assert served.stats.result_cache_hits == 1
+            time_module.sleep(0.02)
+            session.run(query_c)
+        assert len(store) == 2
+        assert store.evictions == 1
+        fingerprint = dataset.fingerprint()
+        assert store.coverage(fingerprint, query_group_key(query_a)) != ()
+        assert store.coverage(fingerprint, query_group_key(query_b)) == ()
+        assert store.coverage(fingerprint, query_group_key(query_c)) != ()
+
+    def test_concurrent_writers_respect_bound(self, tmp_path):
+        """Parallel inserts through the advisory lock keep the store within its
+        bound and never lose or double-count an insert."""
+        import threading
+
+        dataset, ranking = _instance(437, 48, [2, 3], 1.0)
+        query = DetectionQuery(FLAT, 2, 2, 10, "global_bounds")
+        result = _cold(dataset, ranking, query).result
+        fingerprint = dataset.fingerprint()
+        store = DiskResultStore(tmp_path, max_entries=3)
+        errors = []
+
+        def writer(index: int) -> None:
+            try:
+                store.insert(fingerprint, ("group", index), query, result, None)
+            except Exception as error:  # pragma: no cover - the assertion target
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.insertions == 8
+        assert len(store) == 3
+        assert store.evictions == 5
+        assert (tmp_path / ".lock").exists()
+
+
 # -- frontier serialisation -----------------------------------------------------------
 class TestFrontierSerde:
     def test_round_trip(self):

@@ -236,3 +236,29 @@ class TestReportSerialization:
         assert rebuilt.result_cache_hits == 2
         assert rebuilt.result_cache_misses == 1
         assert rebuilt.plan_merged_queries == 3
+
+    def test_stats_round_trip_preserves_fault_tolerance_counters(self):
+        """The supervisor/breaker counters flow through the v3 sweep serde like
+        every other dataclass field (stats_from_dict is reflection-based)."""
+        from repro.core.stats import SearchStats
+
+        stats = SearchStats(
+            worker_restarts=2,
+            shard_retries=3,
+            heartbeat_timeouts=1,
+            query_deadline_exceeded=1,
+            degraded_queries=4,
+            executor_recoveries=1,
+        )
+        flat = stats.as_dict()
+        for name in (
+            "worker_restarts", "shard_retries", "heartbeat_timeouts",
+            "query_deadline_exceeded", "degraded_queries", "executor_recoveries",
+        ):
+            assert name in flat
+        rebuilt = stats_from_dict(json.loads(json.dumps(flat)))
+        assert rebuilt.as_dict() == stats.as_dict()
+        # absorb() folds the new counters by reflection, like the executor does.
+        merged = SearchStats(worker_restarts=1).merge(rebuilt)
+        assert merged.worker_restarts == 3
+        assert merged.executor_recoveries == 1

@@ -345,8 +345,10 @@ class TestSessionLifecycle:
 
 # -- serial reattach after a worker death ---------------------------------------------
 class TestSerialReattach:
-    def test_worker_death_mid_session_reattaches_serially(self, monkeypatch):
-        monkeypatch.setattr(ParallelSearchExecutor, "_POLL_SECONDS", 0.05)
+    def test_worker_death_mid_session_reattaches_serially(self):
+        """With the restart budget disabled, a dead pool opens the circuit
+        breaker: the interrupted query re-runs serially and later queries stay
+        serial (degraded, not permanently fallen back) until the cooldown."""
         dataset, ranking = _instance(119, 64, [2, 3, 2], 1.0)
         query = DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 40, "iter_td")
         reference = detect_biased_groups(
@@ -354,9 +356,13 @@ class TestSerialReattach:
             algorithm=query.algorithm,
         )
         # The lifecycle under test is the executor's; result reuse is disabled so
-        # the repeated query genuinely reaches the (broken) pool each time.
+        # the repeated query genuinely reaches the (broken) pool each time.  A
+        # long cooldown keeps the breaker open for the whole test.
         with AuditSession(
-            dataset, ranking, execution=ExecutionConfig(workers=2),
+            dataset, ranking,
+            execution=ExecutionConfig(
+                workers=2, max_worker_restarts=0, breaker_cooldown=300.0
+            ),
             result_cache_capacity=0,
         ) as session:
             first = session.run(query)
@@ -370,13 +376,18 @@ class TestSerialReattach:
             second = session.run(query)
             assert second.result == reference.result
             assert second.stats.extra.get("executor_reattach") == 1
+            assert second.stats.degraded_queries == 1
             assert not executor.healthy
             assert session._executor is None
-            # The session stays serial from here on (no respawn attempt).
+            assert session.degraded
+            # Within the cooldown the session serves serially without probing a
+            # new pool — degraded, not permanently serial.
             third = session.run(query)
             assert third.result == reference.result
-            assert third.stats.extra.get("parallel_fallback") == 1
+            assert third.stats.degraded_queries == 1
+            assert "parallel_fallback" not in third.stats.extra
             assert "executor_reattach" not in third.stats.extra
+            assert session._executor is None
 
     def test_reattach_on_creating_query_keeps_lifecycle_counters(self, monkeypatch):
         """A worker death during the pool-creating query must not erase the
