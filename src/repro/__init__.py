@@ -8,7 +8,9 @@ The package is organised as follows:
 * :mod:`repro.mlcore` — from-scratch regression models for the explainer;
 * :mod:`repro.explain` — Shapley-value based result analysis (Section V);
 * :mod:`repro.divergence` — the DivExplorer-style comparator of Section VI-D;
-* :mod:`repro.experiments` — harness regenerating every figure of the evaluation.
+* :mod:`repro.experiments` — harness regenerating every figure of the evaluation;
+* :mod:`repro.service` — the embeddable multi-tenant audit service (registry,
+  session pool, admission control, health and graceful shutdown).
 
 The most common entry points are re-exported here.
 """
@@ -37,6 +39,7 @@ from repro.core import (
 )
 from repro.data import Dataset, Schema
 from repro.ranking import AttributeRanker, PrecomputedRanker, Ranker, Ranking, ScoreRanker
+from repro.service import AuditService
 
 __version__ = "1.0.0"
 
@@ -57,6 +60,7 @@ __all__ = [
     "PropBoundsDetector",
     "ExecutionConfig",
     "AuditSession",
+    "AuditService",
     "DetectionQuery",
     "DetectionReport",
     "DetectionResult",

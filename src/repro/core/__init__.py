@@ -38,7 +38,10 @@ from repro.core.result_store import (
     DiskResultStore,
     InMemoryResultStore,
     ResultStore,
+    clear_shared_result_stores,
+    discard_shared_result_store,
     shared_result_store,
+    shared_result_store_names,
 )
 from repro.core.prop_bounds import PropBoundsDetector
 from repro.core.result_set import DetectedGroup, DetectionResult, MostGeneralSet, minimal_patterns
@@ -81,6 +84,9 @@ __all__ = [
     "InMemoryResultStore",
     "DiskResultStore",
     "shared_result_store",
+    "discard_shared_result_store",
+    "shared_result_store_names",
+    "clear_shared_result_stores",
     "SweepFrontier",
     "SweepOutcome",
     "plan_queries",

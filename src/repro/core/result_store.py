@@ -299,6 +299,17 @@ def shared_result_store(
     several :class:`~repro.core.session.AuditSession` instances makes their
     sweeps mutually reusable: the second session auditing the same published
     ranking starts warm, including partial (frontier-extension) hits.
+
+    **Lifecycle.** Each store's *contents* are LRU-bounded by ``capacity``, but
+    the registry itself grows by one entry per distinct ``name`` and never
+    forgets a name on its own — a caller that mints names dynamically (one per
+    ranking, one per tenant, ...) must pair every name with an eventual
+    :func:`discard_shared_result_store`, or the registry leaks one store per
+    retired name for the life of the process.  The multi-tenant service does
+    exactly this: session-pool evictions *keep* the named store (so a
+    re-created session starts warm — that is the point of sharing), and the
+    store is discarded only when its ranking is unregistered or the service
+    shuts down.
     """
     with _SHARED_STORES_LOCK:
         store = _SHARED_STORES.get(name)
@@ -308,10 +319,38 @@ def shared_result_store(
         return store
 
 
-def reset_shared_result_stores() -> None:
-    """Drop every registered shared store (test isolation helper)."""
+def discard_shared_result_store(name: str) -> bool:
+    """Remove the shared store registered under ``name`` (see the lifecycle note).
+
+    Returns whether a store was registered under the name.  Sessions already
+    holding the instance keep working against it — discarding only unlinks the
+    name, so the *next* ``shared_result_store(name)`` starts a fresh store and
+    the old one becomes collectable once its last session closes.
+    """
+    with _SHARED_STORES_LOCK:
+        return _SHARED_STORES.pop(name, None) is not None
+
+
+def shared_result_store_names() -> tuple[str, ...]:
+    """The currently registered shared-store names (lifecycle introspection)."""
+    with _SHARED_STORES_LOCK:
+        return tuple(_SHARED_STORES)
+
+
+def clear_shared_result_stores() -> None:
+    """Drop every registered shared store.
+
+    The bulk form of :func:`discard_shared_result_store`: unlinks every name so
+    the registry holds nothing, without touching store instances sessions still
+    reference.  (Kept under its historical alias
+    :func:`reset_shared_result_stores` for existing callers.)
+    """
     with _SHARED_STORES_LOCK:
         _SHARED_STORES.clear()
+
+
+#: Historical name of :func:`clear_shared_result_stores` (test isolation helper).
+reset_shared_result_stores = clear_shared_result_stores
 
 
 # -- on-disk store ------------------------------------------------------------------

@@ -163,7 +163,7 @@ def stats_from_dict(data: Mapping[str, object]) -> SearchStats:
     field_names = {spec.name for spec in fields(SearchStats)} - {"extra"}
     for name, value in data.items():
         if name in field_names:
-            kind = float if name == "elapsed_seconds" else int
+            kind = float if name in ("elapsed_seconds", "queue_wait_seconds") else int
             setattr(stats, name, kind(value))
         else:
             stats.extra[name] = value

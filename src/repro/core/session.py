@@ -68,7 +68,9 @@ run, never what any query reports.
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -91,7 +93,12 @@ from repro.core.result_store import InMemoryResultStore, ResultStore
 from repro.core.stats import SearchStats
 from repro.core.top_down import SweepOutcome, top_down_search
 from repro.data.dataset import Dataset
-from repro.exceptions import DetectionError, ExecutorBrokenError, QueryTimeoutError
+from repro.exceptions import (
+    ConcurrentSessionUseError,
+    DetectionError,
+    ExecutorBrokenError,
+    QueryTimeoutError,
+)
 from repro.ranking.base import Ranker, Ranking
 
 __all__ = [
@@ -205,6 +212,12 @@ class AuditSession:
         self._executors_created = 0
         self._closed = False
         self._queries_run = 0
+        # Sessions are single-caller: the warm engine attributes per-query stats
+        # through snapshot deltas, so interleaved queries would silently corrupt
+        # each other's counters.  The guard turns that misuse into a typed error
+        # instead; concurrent serving layers (the service dispatcher) serialize
+        # in front of the session and never trip it.
+        self._serving = threading.Lock()
 
     # -- accessors --------------------------------------------------------------
     @property
@@ -259,7 +272,24 @@ class AuditSession:
         )
 
     # -- querying ---------------------------------------------------------------
-    def run(self, query: DetectionQuery) -> DetectionReport:
+    @contextmanager
+    def _exclusive(self):
+        """The single-caller guard around one serving call (see module docstring)."""
+        if not self._serving.acquire(blocking=False):
+            raise ConcurrentSessionUseError(
+                "this AuditSession is already serving a query from another "
+                "caller; sessions are single-caller — serialize access (the "
+                "service dispatcher does) instead of sharing one session "
+                "between threads"
+            )
+        try:
+            yield
+        finally:
+            self._serving.release()
+
+    def run(
+        self, query: DetectionQuery, *, query_deadline: float | None = None
+    ) -> DetectionReport:
         """Run one :class:`DetectionQuery` and return its :class:`DetectionReport`.
 
         Results are bit-identical to the one-shot
@@ -268,9 +298,14 @@ class AuditSession:
         the session already ran a containing sweep — the result cache).  This is
         literally a one-query plan through :meth:`run_many`.
         """
-        return self.run_many([query])[0]
+        return self.run_many([query], query_deadline=query_deadline)[0]
 
-    def run_many(self, queries: Iterable[DetectionQuery]) -> list[DetectionReport]:
+    def run_many(
+        self,
+        queries: Iterable[DetectionQuery],
+        *,
+        query_deadline: float | None = None,
+    ) -> list[DetectionReport]:
         """Plan and run a batch of queries; reports come back in input order.
 
         The batch goes through :func:`~repro.core.planner.plan_queries` first:
@@ -286,24 +321,39 @@ class AuditSession:
         per-query run; the serving provenance shows up on its stats as
         ``result_cache_hits`` / ``result_cache_misses`` /
         ``plan_merged_queries``.
+
+        ``query_deadline`` overrides ``ExecutionConfig.query_deadline`` for this
+        call only — the per-request budget a serving layer propagates into the
+        session.  Each query of the batch gets the full budget (a deadline is
+        per query, not per batch).  A tripped deadline raises
+        :class:`~repro.exceptions.QueryTimeoutError` whose ``partial_reports``
+        holds the completed prefix in input order (``None`` for unserved
+        queries); the store retains exactly the sweeps of the completed steps.
         """
         if self._closed:
             raise DetectionError("the audit session has been closed")
-        batch = list(queries)
-        for query in batch:
-            self._parameters_for(query).validate_for(self._dataset)
-        fingerprint = self._dataset.fingerprint()
-        plan = plan_queries(
-            batch,
-            coverage=lambda group_key: self._store.coverage(fingerprint, group_key),
-        )
-        reports: list[DetectionReport | None] = [None] * len(batch)
-        for step in plan.steps:
-            self._run_step(plan, step, reports)
-        self._queries_run += len(batch)
-        return reports
+        with self._exclusive():
+            batch = list(queries)
+            for query in batch:
+                self._parameters_for(query).validate_for(self._dataset)
+            fingerprint = self._dataset.fingerprint()
+            plan = plan_queries(
+                batch,
+                coverage=lambda group_key: self._store.coverage(fingerprint, group_key),
+            )
+            reports: list[DetectionReport | None] = [None] * len(batch)
+            try:
+                for step in plan.steps:
+                    self._run_step(plan, step, reports, query_deadline)
+            except QueryTimeoutError as error:
+                error.partial_reports = tuple(reports)
+                raise
+            self._queries_run += len(batch)
+            return reports
 
-    def run_detector(self, detector: Detector) -> DetectionReport:
+    def run_detector(
+        self, detector: Detector, *, query_deadline: float | None = None
+    ) -> DetectionReport:
         """Run an arbitrary :class:`~repro.core.detector.Detector` instance.
 
         This is the escape hatch for detectors outside the query registry (e.g.
@@ -320,12 +370,13 @@ class AuditSession:
         """
         if self._closed:
             raise DetectionError("the audit session has been closed")
-        detector.parameters.validate_for(self._dataset)
-        outcome, stats = self._execute(detector)
-        self._queries_run += 1
-        return DetectionReport(
-            detector.name, detector.parameters, outcome.result, stats, self._counter
-        )
+        with self._exclusive():
+            detector.parameters.validate_for(self._dataset)
+            outcome, stats = self._execute(detector, deadline_override=query_deadline)
+            self._queries_run += 1
+            return DetectionReport(
+                detector.name, detector.parameters, outcome.result, stats, self._counter
+            )
 
     # -- internals ---------------------------------------------------------------
     def _parameters_for(self, query: DetectionQuery) -> DetectionParameters:
@@ -342,6 +393,7 @@ class AuditSession:
         plan: QueryPlan,
         step: PlanStep,
         reports: list[DetectionReport | None],
+        deadline_override: float | None = None,
     ) -> None:
         """Serve every query of one plan step: a containment hit from the store,
         a frontier extension of a cached sweep, or one real covering run."""
@@ -355,7 +407,7 @@ class AuditSession:
         if covering is None:
             stats = None
             if isinstance(step, ExtendStep):
-                covering, stats = self._extend_step(step, fingerprint)
+                covering, stats = self._extend_step(step, fingerprint, deadline_override)
             if covering is None:
                 # Store miss: run the covering sweep once.  The primary query
                 # (first of the step in batch order) carries the sweep's real
@@ -363,7 +415,9 @@ class AuditSession:
                 # cache hit, so summing any engine counter over the batch's
                 # reports still equals the work the engine actually performed.
                 detector = step.query.build_detector(self._execution)
-                outcome, stats = self._execute(detector)
+                outcome, stats = self._execute(
+                    detector, deadline_override=deadline_override
+                )
                 covering = outcome.result
                 store.insert(
                     fingerprint, step.group_key, step.query, covering, outcome.frontier
@@ -384,7 +438,10 @@ class AuditSession:
             reports[index] = report
 
     def _extend_step(
-        self, step: ExtendStep, fingerprint: str
+        self,
+        step: ExtendStep,
+        fingerprint: str,
+        deadline_override: float | None = None,
     ) -> tuple[DetectionResult | None, SearchStats | None]:
         """Serve an :class:`~repro.core.planner.ExtendStep` by resuming a cached
         sweep's frontier over the uncovered k suffix.
@@ -416,7 +473,9 @@ class AuditSession:
         if not detector.resumable:
             return None, None
         try:
-            outcome, stats = self._execute(detector, resume_from=entry.frontier)
+            outcome, stats = self._execute(
+                detector, resume_from=entry.frontier, deadline_override=deadline_override
+            )
         except QueryTimeoutError:
             # The deadline is a property of the query, not of this serving
             # strategy: falling back to the (strictly more expensive) full
@@ -459,13 +518,15 @@ class AuditSession:
         return report
 
     def _execute(
-        self, detector: Detector, resume_from=None
+        self, detector: Detector, resume_from=None, deadline_override: float | None = None
     ) -> tuple[SweepOutcome, SearchStats]:
         """Run ``detector`` over the warm counter (and executor) with fresh stats.
 
         ``resume_from`` carries a :class:`~repro.core.top_down.SweepFrontier`
         when the run extends a cached sweep instead of starting cold; the
-        detector then computes only its (suffix) k range.
+        detector then computes only its (suffix) k range.  ``deadline_override``
+        replaces ``ExecutionConfig.query_deadline`` for this run (a serving
+        layer's per-request budget).
         """
         counter = self._counter
         stats = SearchStats()
@@ -477,9 +538,14 @@ class AuditSession:
         # query deadline starts with the clock and is *not* reset by a serial
         # re-run — a query has one wall-clock budget, however it is served.
         started = time.perf_counter()
+        budget = (
+            deadline_override
+            if deadline_override is not None
+            else self._execution.query_deadline
+        )
         deadline = None
-        if self._execution.query_deadline is not None:
-            deadline = time.monotonic() + self._execution.query_deadline
+        if budget is not None:
+            deadline = time.monotonic() + budget
         executor = self._ensure_executor(detector, stats)
         try:
             try:

@@ -73,6 +73,10 @@ class SearchStats:
     #: Successful circuit-breaker probes: a degraded session restored a healthy
     #: parallel executor after its cooldown.
     executor_recoveries: int = 0
+    #: Wall-clock seconds the request that carried this query waited in a
+    #: serving layer's admission queue before its queries ran (stamped by the
+    #: service dispatcher; always 0 for direct session use).
+    queue_wait_seconds: float = 0.0
     #: Wall-clock seconds, filled in by the experiment harness when timing runs.
     elapsed_seconds: float = 0.0
     #: Free-form counters for algorithm-specific events (e.g. k-tilde reschedules).
@@ -132,6 +136,7 @@ class SearchStats:
             "query_deadline_exceeded": self.query_deadline_exceeded,
             "degraded_queries": self.degraded_queries,
             "executor_recoveries": self.executor_recoveries,
+            "queue_wait_seconds": self.queue_wait_seconds,
             "elapsed_seconds": self.elapsed_seconds,
         }
         flat.update(self.extra)

@@ -66,18 +66,40 @@ class ExecutorBrokenError(DetectionError):
     """
 
 
+class ConcurrentSessionUseError(DetectionError):
+    """Two callers entered the same :class:`~repro.core.session.AuditSession` at once.
+
+    Sessions are single-caller: their warm engine attributes per-query stats
+    through snapshot deltas, which interleaved queries would silently corrupt.
+    Callers that need concurrency put a serialization layer in front of the
+    session — the multi-tenant :class:`~repro.service.AuditService` dispatcher
+    is exactly that — instead of sharing one session between threads.
+    """
+
+
 class QueryTimeoutError(DetectionError):
     """A query exceeded its configured deadline (``ExecutionConfig.query_deadline``).
 
     The partially accumulated :class:`repro.core.stats.SearchStats` for the
     timed-out query are attached as :attr:`stats` so callers can inspect how far
     the search progressed (counters, restarts, cache activity) before the
-    deadline fired.
+    deadline fired.  When the timeout interrupted a
+    :meth:`~repro.core.session.AuditSession.run_many` batch,
+    :attr:`partial_reports` carries the reports completed before the deadline
+    fired, in input order with ``None`` for the unserved queries — exactly the
+    prefix of plan steps that finished (and whose sweeps the session's result
+    store retained).
     """
 
-    def __init__(self, message: str, stats: object | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        stats: object | None = None,
+        partial_reports: tuple | None = None,
+    ) -> None:
         super().__init__(message)
         self.stats = stats
+        self.partial_reports = partial_reports
 
 
 class ModelError(ReproError):

@@ -1,0 +1,55 @@
+"""Multi-tenant audit service: registry, session pool, admission, serving facade.
+
+The package turns the single-caller :class:`~repro.core.session.AuditSession`
+into a long-lived, embeddable service (:class:`AuditService`): named
+dataset/ranking registration with fingerprint validation, one LRU-pooled warm
+session per ranking, per-tenant admission control with load shedding, deadline
+propagation, health surfaces, graceful shutdown and deterministic service-level
+fault injection.  See :mod:`repro.service.service` for the full story.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import AdmissionConfig, AdmissionController, TenantState
+from repro.service.errors import (
+    RegistrationConflictError,
+    RegistryError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownDatasetError,
+    UnknownRankingError,
+)
+from repro.service.faults import ServiceFaultPlan
+from repro.service.pool import PooledSession, SessionPool
+from repro.service.registry import (
+    ColumnInfo,
+    DatasetRecord,
+    DatasetRegistry,
+    RankingRecord,
+    ranking_key,
+)
+from repro.service.service import AuditFuture, AuditService
+
+__all__ = [
+    "AuditService",
+    "AuditFuture",
+    "AdmissionConfig",
+    "AdmissionController",
+    "TenantState",
+    "SessionPool",
+    "PooledSession",
+    "DatasetRegistry",
+    "DatasetRecord",
+    "RankingRecord",
+    "ColumnInfo",
+    "ranking_key",
+    "ServiceFaultPlan",
+    "ServiceError",
+    "RegistryError",
+    "UnknownDatasetError",
+    "UnknownRankingError",
+    "RegistrationConflictError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+]

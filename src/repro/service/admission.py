@@ -1,0 +1,196 @@
+"""Admission control for the audit service: quotas, queues, and load shedding.
+
+The service sits between an unbounded number of clients and a bounded pool of
+sessions/worker processes.  Without admission control, a burst from one tenant
+turns into unbounded queue growth, unbounded memory, and latency for everyone —
+the classic overload failure.  The controller makes the boundary explicit and
+*fair per tenant*:
+
+* each tenant may have at most ``max_concurrent_per_tenant`` requests running
+  (dispatched to sessions) at once;
+* beyond that, up to ``max_queue_per_tenant`` requests wait in the tenant's
+  FIFO queue (optionally bounded in aggregate by ``max_queue_total``);
+* anything beyond the queue bound is **shed immediately** with a structured
+  :class:`~repro.service.errors.ServiceOverloadedError` carrying a
+  ``retry_after`` hint — the request never holds memory, a thread, or a
+  session, and the client learns to back off instead of piling on.
+
+The controller is pure bookkeeping: it owns no threads and runs no requests.
+The service calls :meth:`admit` at submit time (the returned verdict says
+"dispatch now" or "queued") and :meth:`release` at completion time (the
+returned request, if any, is the tenant's next queued one, promoted into the
+freed slot — promotion is the only way out of a queue, so per-tenant FIFO order
+is preserved end-to-end).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, TypeVar
+
+from repro.service.errors import ServiceOverloadedError
+
+__all__ = ["AdmissionConfig", "AdmissionController", "TenantState"]
+
+RequestT = TypeVar("RequestT")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Quotas and queue bounds applied per tenant (uniformly — no tenant tiers).
+
+    ``retry_after`` is the base of the shedding hint: a shed request is told to
+    come back after ``retry_after * (1 + queued_for_tenant)`` seconds, a crude
+    but monotone signal — the deeper the tenant's queue, the longer the back-off.
+    """
+
+    max_concurrent_per_tenant: int = 2
+    max_queue_per_tenant: int = 8
+    max_queue_total: int | None = None
+    retry_after: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_per_tenant < 1:
+            raise ValueError("max_concurrent_per_tenant must be >= 1")
+        if self.max_queue_per_tenant < 0:
+            raise ValueError("max_queue_per_tenant must be >= 0")
+        if self.max_queue_total is not None and self.max_queue_total < 0:
+            raise ValueError("max_queue_total must be >= 0 (or None for unbounded)")
+        if self.retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+
+
+@dataclass
+class TenantState(Generic[RequestT]):
+    """One tenant's live admission-control state."""
+
+    in_flight: int = 0
+    queue: deque = field(default_factory=deque)
+    #: Lifetime counters, surfaced through the service's health endpoint.
+    admitted: int = 0
+    queued_total: int = 0
+    shed: int = 0
+    completed: int = 0
+
+
+class AdmissionController(Generic[RequestT]):
+    """Per-tenant concurrency quotas and bounded FIFO queues (thread-safe)."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self._config = config if config is not None else AdmissionConfig()
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantState[RequestT]] = {}
+
+    @property
+    def config(self) -> AdmissionConfig:
+        return self._config
+
+    def _state(self, tenant: str) -> TenantState[RequestT]:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = TenantState()
+        return state
+
+    def _total_queued_locked(self) -> int:
+        return sum(len(state.queue) for state in self._tenants.values())
+
+    # -- the three verbs ----------------------------------------------------------
+    def admit(self, tenant: str, request: RequestT) -> bool:
+        """Admit ``request`` for ``tenant``: ``True`` = dispatch now, ``False`` =
+        queued behind the tenant's quota.  Sheds with
+        :class:`ServiceOverloadedError` when the queue bounds are exhausted."""
+        config = self._config
+        with self._lock:
+            state = self._state(tenant)
+            if state.in_flight < config.max_concurrent_per_tenant:
+                state.in_flight += 1
+                state.admitted += 1
+                return True
+            queued = len(state.queue)
+            over_tenant = queued >= config.max_queue_per_tenant
+            over_total = (
+                config.max_queue_total is not None
+                and self._total_queued_locked() >= config.max_queue_total
+            )
+            if over_tenant or over_total:
+                state.shed += 1
+                scope = "tenant queue" if over_tenant else "service queue"
+                raise ServiceOverloadedError(
+                    f"request shed: {scope} full for tenant {tenant!r} "
+                    f"({state.in_flight} in flight, {queued} queued)",
+                    tenant=tenant,
+                    retry_after=config.retry_after * (1 + queued),
+                    in_flight=state.in_flight,
+                    queued=queued,
+                )
+            state.queue.append(request)
+            state.queued_total += 1
+            return False
+
+    def release(self, tenant: str) -> RequestT | None:
+        """Release one of ``tenant``'s running slots after a request finished.
+
+        If the tenant has queued requests, the oldest one is promoted into the
+        freed slot and returned — the caller must dispatch it.  Returns ``None``
+        when nothing was waiting.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            if state.in_flight <= 0:
+                raise ValueError(f"release() without a matching admit for {tenant!r}")
+            state.completed += 1
+            if state.queue:
+                # The slot passes straight to the promoted request: in_flight
+                # stays constant, so the quota can never be overshot by a
+                # release/admit race.
+                return state.queue.popleft()
+            state.in_flight -= 1
+            return None
+
+    def drain_queued(self) -> list[RequestT]:
+        """Remove and return every queued (not yet running) request.
+
+        Used by non-draining shutdown: the caller fails the returned requests
+        with a typed error.  Running requests are untouched — their slots are
+        released normally as they finish.
+        """
+        with self._lock:
+            drained: list[RequestT] = []
+            for state in self._tenants.values():
+                drained.extend(state.queue)
+                state.queue.clear()
+            return drained
+
+    # -- introspection ------------------------------------------------------------
+    def in_flight(self, tenant: str | None = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                return self._state(tenant).in_flight
+            return sum(state.in_flight for state in self._tenants.values())
+
+    def queued(self, tenant: str | None = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                return len(self._state(tenant).queue)
+            return self._total_queued_locked()
+
+    def tenants(self) -> Iterable[str]:
+        with self._lock:
+            return tuple(self._tenants)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-tenant counters for the health surface (a point-in-time copy)."""
+        with self._lock:
+            return {
+                tenant: {
+                    "in_flight": state.in_flight,
+                    "queued": len(state.queue),
+                    "admitted": state.admitted,
+                    "queued_total": state.queued_total,
+                    "shed": state.shed,
+                    "completed": state.completed,
+                }
+                for tenant, state in self._tenants.items()
+            }

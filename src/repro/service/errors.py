@@ -1,0 +1,111 @@
+"""Typed failure modes of the multi-tenant audit service.
+
+Every service error derives from :class:`ServiceError` (itself a
+:class:`~repro.exceptions.ReproError`), so one ``except`` clause can catch any
+service-side failure while still distinguishing the cases a client must react
+to differently:
+
+* *registry* problems (:class:`UnknownDatasetError`, :class:`UnknownRankingError`,
+  :class:`RegistrationConflictError`) are caller bugs or stale names — retrying
+  does not help;
+* :class:`ServiceOverloadedError` is load shedding — the request was refused
+  *before* any work happened, and :attr:`~ServiceOverloadedError.retry_after`
+  hints when capacity is expected back;
+* :class:`ServiceClosedError` means the service is shutting down (or gone) —
+  clients should fail over, not retry.
+
+Timeouts are deliberately **not** a service-specific type: a request that
+exceeds its deadline — queued or running — fails with the same
+:class:`~repro.exceptions.QueryTimeoutError` the session layer raises, so
+clients handle one timeout type across both APIs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ServiceError",
+    "RegistryError",
+    "UnknownDatasetError",
+    "UnknownRankingError",
+    "RegistrationConflictError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+]
+
+
+class ServiceError(ReproError):
+    """Base class of every error raised by the audit service layer."""
+
+
+class RegistryError(ServiceError):
+    """A dataset/ranking registry operation was invalid."""
+
+
+class UnknownDatasetError(RegistryError):
+    """A request referenced a dataset name that is not registered."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.available = tuple(available)
+        message = f"unknown dataset {name!r}"
+        if self.available:
+            message += f"; registered datasets: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class UnknownRankingError(RegistryError):
+    """A request referenced a ranking key that is not registered."""
+
+    def __init__(self, key: str, available: tuple[str, ...] = ()) -> None:
+        self.key = key
+        self.available = tuple(available)
+        message = f"unknown ranking {key!r}"
+        if self.available:
+            message += f"; registered rankings: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class RegistrationConflictError(RegistryError):
+    """A name was re-registered with *different* content.
+
+    Re-registering identical content (same :meth:`~repro.data.dataset.Dataset.
+    fingerprint`, same ranking order) is an idempotent no-op; this error fires
+    only when the name would silently start meaning something else.  Pass
+    ``replace=True`` to the registration call to replace deliberately.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down (or has shut down) and admits no new work."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """A request was shed by admission control before any work happened.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose quota/queue was exhausted.
+    retry_after:
+        Suggested back-off in seconds before retrying — a hint derived from the
+        tenant's queue depth, not a reservation.
+    in_flight / queued:
+        The tenant's admission-control state at the moment of shedding.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str,
+        retry_after: float,
+        in_flight: int = 0,
+        queued: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = float(retry_after)
+        self.in_flight = int(in_flight)
+        self.queued = int(queued)

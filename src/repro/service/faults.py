@@ -1,0 +1,78 @@
+"""Service-level fault injection: deterministic chaos for the audit service.
+
+The session layer already has a declarative worker-fault harness
+(:class:`~repro.core.engine.faults.FaultPlan` — kill/hang/stall/drop at exact
+task ordinals).  The service adds failure modes that only exist *above* the
+session: overload (requests shed by admission control) and slow serving (a
+dispatcher stalled long enough for queued requests to outlive their deadlines).
+:class:`ServiceFaultPlan` composes all three so one seeded chaos test can drive
+worker deaths, induced shedding and queue-side deadline expiry in a single
+deterministic schedule.
+
+Addressing model
+----------------
+Requests are numbered by **1-based submit ordinal** — the order ``submit()``
+calls reach the service, which a seeded test controls exactly:
+
+``worker_faults``
+    A plain :class:`~repro.core.engine.faults.FaultPlan` threaded into every
+    pooled session's ``ExecutionConfig``, so worker-level faults fire inside
+    service-built sessions exactly as they do in standalone ones.
+``force_shed_requests``
+    Submit ordinals shed at admission time with a structured
+    :class:`~repro.service.errors.ServiceOverloadedError` *regardless* of
+    actual load — induced overload, for exercising client back-off paths
+    without having to saturate real queues.
+``slow_requests``
+    ``(ordinal, seconds)`` pairs: the dispatcher sleeps ``seconds`` before
+    serving that request, simulating a slow client/handler.  Combined with a
+    per-tenant quota of 1 this deterministically makes the *next* queued
+    request overstay a short deadline — the queue-side timeout path.
+
+Like the worker-level plan, this object is pure data; all interpretation lives
+in :class:`~repro.service.service.AuditService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine.faults import FaultPlan
+
+__all__ = ["ServiceFaultPlan"]
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A reproducible schedule of service-level faults (see module docstring)."""
+
+    worker_faults: FaultPlan | None = None
+    force_shed_requests: tuple[int, ...] = ()
+    slow_requests: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "force_shed_requests", tuple(self.force_shed_requests)
+        )
+        object.__setattr__(
+            self,
+            "slow_requests",
+            tuple((int(ordinal), float(seconds)) for ordinal, seconds in self.slow_requests),
+        )
+        if any(ordinal < 1 for ordinal in self.force_shed_requests):
+            raise ValueError("force_shed_requests are 1-based submit ordinals")
+        if any(ordinal < 1 for ordinal, _ in self.slow_requests):
+            raise ValueError("slow_requests ordinals are 1-based submit ordinals")
+        if any(seconds < 0 for _, seconds in self.slow_requests):
+            raise ValueError("slow_requests delays must be non-negative")
+
+    def sheds(self, ordinal: int) -> bool:
+        """Whether the request with this submit ordinal is force-shed."""
+        return ordinal in self.force_shed_requests
+
+    def slowdown(self, ordinal: int) -> float:
+        """Seconds the dispatcher stalls before serving this submit ordinal."""
+        for at, seconds in self.slow_requests:
+            if at == ordinal:
+                return seconds
+        return 0.0

@@ -1,0 +1,257 @@
+"""LRU-bounded pool of :class:`~repro.core.session.AuditSession` instances.
+
+The service keeps one warm session per registered ranking — that is where the
+amortization lives (warm engine caches, one shm publish + pool spawn per
+session) — but "one session per ranking, forever" does not survive contact with
+many tenants registering many rankings: each session pins an encoded codes
+matrix, engine caches and possibly a worker pool.  The pool bounds that
+footprint two ways:
+
+* ``max_sessions`` — at most this many sessions resident at once;
+* ``max_resident_rows`` — optionally, the *sum of dataset rows* across resident
+  sessions (a direct proxy for the dominant memory term, the rank-ordered codes
+  matrix and its masks) stays under this bound.
+
+Either bound evicts **least recently leased** sessions first.  Eviction closes
+the session (idempotently — :meth:`AuditSession.close` already is), which reaps
+its worker pool and shared-memory segment.  A session that is *leased* (a
+dispatcher is running a query on it) is never closed mid-query: it is marked
+*retired* and closed by whoever releases the last lease.  The named shared
+result store a session was built over is deliberately **not** discarded on
+eviction — surviving the session is the store's whole point (a re-created
+session starts warm); store lifecycle belongs to the service
+(unregister/shutdown), see :func:`repro.core.result_store.shared_result_store`.
+
+Bookkeeping is exact and queryable: ``sessions_created`` /
+``sessions_closed`` / ``evictions``, plus :meth:`assert_all_closed` — the
+shutdown acceptance check that every session the pool ever built was closed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.session import AuditSession
+from repro.service.errors import ServiceError
+
+__all__ = ["PooledSession", "SessionPool"]
+
+
+@dataclass
+class PooledSession:
+    """One pooled session plus the serialization lock dispatchers acquire.
+
+    ``lock`` is the service's concurrency boundary: sessions are single-caller
+    (the session's own guard raises on violations), so every dispatcher holds
+    ``lock`` for the duration of one request's queries.
+    """
+
+    key: str
+    session: AuditSession
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    leases: int = 0
+    retired: bool = False
+    rows: int = 0
+    queries_served: int = 0
+    #: Whether this entry's close was already counted (guards double accounting
+    #: when eviction and release race to close the same retired entry).
+    close_accounted: bool = False
+
+
+class SessionPool:
+    """Keyed LRU pool of audit sessions with lease-safe eviction."""
+
+    def __init__(
+        self,
+        session_factory: Callable[[str], AuditSession],
+        max_sessions: int = 8,
+        max_resident_rows: int | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if max_resident_rows is not None and max_resident_rows < 1:
+            raise ValueError("max_resident_rows must be >= 1 (or None)")
+        self._factory = session_factory
+        self._max_sessions = max_sessions
+        self._max_resident_rows = max_resident_rows
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, PooledSession]" = OrderedDict()
+        # Retired entries still leased by a dispatcher: unlinked from the key
+        # space (a new lease of the key builds a fresh session) but kept here
+        # so close bookkeeping stays exact until their final release.
+        self._retiring: list[PooledSession] = []
+        self._closed = False
+        self.sessions_created = 0
+        self.sessions_closed = 0
+        self.evictions = 0
+
+    # -- leasing ------------------------------------------------------------------
+    def lease(self, key: str) -> PooledSession:
+        """The pooled session for ``key`` (created on first use), lease held.
+
+        The caller must pair every ``lease`` with exactly one :meth:`release`.
+        Leasing refreshes the entry's LRU position and may evict *other*,
+        unleased entries to restore the bounds.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("the session pool has been closed")
+            entry = self._entries.get(key)
+            if entry is None:
+                session = self._factory(key)
+                entry = PooledSession(
+                    key=key, session=session, rows=session.dataset.n_rows
+                )
+                self._entries[key] = entry
+                self.sessions_created += 1
+            self._entries.move_to_end(key)
+            entry.leases += 1
+            victims = self._evict_over_bounds_locked(protect=key)
+        for victim in victims:
+            self._close_entry(victim)
+        return entry
+
+    def release(self, entry: PooledSession) -> None:
+        """Return a lease; closes the session if it was retired while leased."""
+        close_now = False
+        with self._lock:
+            if entry.leases <= 0:
+                raise ValueError(f"release() without a matching lease for {entry.key!r}")
+            entry.leases -= 1
+            entry.queries_served += 1
+            if entry.retired and entry.leases == 0:
+                close_now = True
+        if close_now:
+            self._close_entry(entry)
+
+    def _retire_locked(self, entry: PooledSession) -> bool:
+        """Mark ``entry`` retired and unlink its key; returns whether it can be
+        closed immediately (no leases) — the caller closes outside the lock."""
+        entry.retired = True
+        if self._entries.get(entry.key) is entry:
+            del self._entries[entry.key]
+        if entry.leases == 0:
+            return True
+        self._retiring.append(entry)
+        return False
+
+    # -- eviction -----------------------------------------------------------------
+    def _over_bounds_locked(self) -> bool:
+        if len(self._entries) > self._max_sessions:
+            return True
+        if self._max_resident_rows is not None:
+            resident = sum(entry.rows for entry in self._entries.values())
+            return resident > self._max_resident_rows
+        return False
+
+    def _evict_over_bounds_locked(self, protect: str | None = None) -> list[PooledSession]:
+        """Retire least-recently-leased entries until within bounds.
+
+        ``protect`` (the entry just leased) is never evicted — a pool of size 1
+        must still be able to serve.  Returns the unleased victims, which the
+        caller must close *after dropping the pool lock* (closing a session
+        reaps its worker pool — far too slow to hold the lock over, and
+        :meth:`_close_entry` re-acquires it); leased victims retire and close
+        on their final release.
+        """
+        victims: list[PooledSession] = []
+        while self._over_bounds_locked():
+            victim = next(
+                (entry for entry in self._entries.values() if entry.key != protect),
+                None,
+            )
+            if victim is None:
+                break
+            self.evictions += 1
+            if self._retire_locked(victim):
+                victims.append(victim)
+        return victims
+
+    def _close_entry(self, entry: PooledSession) -> None:
+        """Close one session (idempotent) and account for it exactly once."""
+        with self._lock:
+            # Only unlink the mapping if it still points at *this* entry — the
+            # key may have been re-created by a later lease after eviction.
+            if self._entries.get(entry.key) is entry:
+                del self._entries[entry.key]
+            if entry in self._retiring:
+                self._retiring.remove(entry)
+            first = not entry.close_accounted
+            entry.close_accounted = True
+        entry.session.close()
+        if first:
+            with self._lock:
+                self.sessions_closed += 1
+
+    # -- explicit retirement ------------------------------------------------------
+    def retire(self, key: str) -> bool:
+        """Retire (and close, lease-safely) the session pooled under ``key``.
+
+        Used when a ranking is unregistered or replaced: the pooled session
+        serves stale data and must go, warm or not.  Returns whether a session
+        was pooled under the key.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            close_now = self._retire_locked(entry)
+        if close_now:
+            self._close_entry(entry)
+        return True
+
+    def close_all(self) -> None:
+        """Close every pooled session and refuse further leases (idempotent).
+
+        Callers drain in-flight work first (the service does), so no entry
+        should be leased; a still-leased entry is retired and closes on its
+        final release — :meth:`assert_all_closed` then reports the truth.
+        """
+        with self._lock:
+            self._closed = True
+            to_close = [
+                entry
+                for entry in list(self._entries.values())
+                if self._retire_locked(entry)
+            ]
+        for entry in to_close:
+            self._close_entry(entry)
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def open_sessions(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def entries(self) -> tuple[PooledSession, ...]:
+        """A snapshot of the resident entries (health reporting)."""
+        with self._lock:
+            return tuple(self._entries.values())
+
+    def assert_all_closed(self) -> None:
+        """Raise unless every session ever created by the pool was closed."""
+        with self._lock:
+            leaked = len(self._entries) + len(self._retiring)
+            if self.sessions_closed != self.sessions_created or leaked:
+                raise ServiceError(
+                    f"session-pool leak: created={self.sessions_created} "
+                    f"closed={self.sessions_closed} resident={leaked}"
+                )
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "open": len(self._entries),
+                "max_sessions": self._max_sessions,
+                "max_resident_rows": self._max_resident_rows,
+                "sessions_created": self.sessions_created,
+                "sessions_closed": self.sessions_closed,
+                "evictions": self.evictions,
+            }

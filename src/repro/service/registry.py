@@ -1,0 +1,376 @@
+"""Named dataset/ranking registry of the multi-tenant audit service.
+
+A long-lived service cannot pass :class:`~repro.data.dataset.Dataset` objects
+over the wire on every request; clients speak in *names*.  The registry owns
+that mapping: datasets register once under a name, rankings register under a
+``"dataset/ranking"`` key, and every record carries enough column metadata
+(kind, cardinality, caller-declared roles) for a client to discover what it can
+query without holding the data.
+
+Registration is **validated and idempotent**:
+
+* a dataset's columns are described from its schema at registration time, and
+  caller-supplied ``roles`` must name real columns (categorical or numeric) —
+  a typo fails registration instead of surfacing as a confusing query error
+  later;
+* re-registering a name with *identical* content — detected via the cached
+  :meth:`~repro.data.dataset.Dataset.fingerprint` (datasets) or the ranking
+  order (rankings) — returns the existing record unchanged, so restarting
+  clients can blindly re-register on connect;
+* re-registering a name with *different* content raises
+  :class:`~repro.service.errors.RegistrationConflictError` unless the caller
+  passes ``replace=True``, in which case the old record (and, for datasets,
+  every dependent ranking) is dropped and the dropped ranking keys are
+  reported so the serving layer can retire their pooled sessions.
+
+The registry is thread-safe and purely passive: it never builds sessions or
+runs queries — the service wires records to its session pool by ranking key.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.ranking.base import Ranker, Ranking
+from repro.service.errors import (
+    RegistrationConflictError,
+    RegistryError,
+    UnknownDatasetError,
+    UnknownRankingError,
+)
+
+__all__ = [
+    "ColumnInfo",
+    "DatasetRecord",
+    "RankingRecord",
+    "DatasetRegistry",
+    "ranking_key",
+]
+
+#: Separator of the ``"dataset/ranking"`` composite key.
+KEY_SEPARATOR = "/"
+
+
+def ranking_key(dataset_name: str, ranking_name: str) -> str:
+    """The composite key a ranking registers under (``"dataset/ranking"``)."""
+    return f"{dataset_name}{KEY_SEPARATOR}{ranking_name}"
+
+
+def _validate_name(name: str, what: str) -> str:
+    if not isinstance(name, str) or not name:
+        raise RegistryError(f"a {what} name must be a non-empty string")
+    if KEY_SEPARATOR in name:
+        raise RegistryError(
+            f"a {what} name cannot contain {KEY_SEPARATOR!r} "
+            f"(it separates dataset and ranking in composite keys): {name!r}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One column of a registered dataset, as clients discover it.
+
+    ``kind`` is ``"categorical"`` (usable in patterns; ``cardinality`` set) or
+    ``"numeric"`` (scores/side columns; ``cardinality`` is ``None``).  ``role``
+    is the caller's free-form annotation (``"protected"``, ``"score"``, ...) —
+    the service never interprets it, it only validates that annotated columns
+    exist and surfaces the annotation back to clients.
+    """
+
+    name: str
+    kind: str
+    cardinality: int | None = None
+    role: str | None = None
+
+
+@dataclass(frozen=True)
+class DatasetRecord:
+    """A registered dataset: the data plus its discoverable description."""
+
+    name: str
+    dataset: Dataset
+    fingerprint: str
+    columns: tuple[ColumnInfo, ...]
+    description: str | None = None
+
+    def column(self, name: str) -> ColumnInfo:
+        for info in self.columns:
+            if info.name == name:
+                return info
+        raise RegistryError(f"dataset {self.name!r} has no column {name!r}")
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable summary (no data, just shape and metadata)."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "rows": self.dataset.n_rows,
+            "description": self.description,
+            "columns": [
+                {
+                    "name": info.name,
+                    "kind": info.kind,
+                    "cardinality": info.cardinality,
+                    "role": info.role,
+                }
+                for info in self.columns
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class RankingRecord:
+    """A registered ranking of a registered dataset."""
+
+    key: str
+    dataset_name: str
+    ranking_name: str
+    ranking: Ranking
+    fingerprint: str  # the ranked dataset's fingerprint (session validation)
+    description: str | None = None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "key": self.key,
+            "dataset": self.dataset_name,
+            "ranking": self.ranking_name,
+            "rows": len(self.ranking),
+            "description": self.description,
+        }
+
+
+@dataclass
+class _DatasetSlot:
+    record: DatasetRecord
+    #: Registration generation — bumped on replacement so pooled sessions built
+    #: against the old record can be told apart from fresh ones.
+    generation: int = 0
+    rankings: dict[str, RankingRecord] = field(default_factory=dict)
+
+
+class DatasetRegistry:
+    """Thread-safe name → dataset/ranking mapping with idempotent registration."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._datasets: dict[str, _DatasetSlot] = {}
+        #: Idempotent re-registrations observed (same name, same content).
+        self.reregistrations = 0
+        #: Deliberate replacements (``replace=True`` with different content).
+        self.replacements = 0
+
+    # -- datasets -----------------------------------------------------------------
+    def register_dataset(
+        self,
+        name: str,
+        dataset: Dataset,
+        *,
+        roles: Mapping[str, str] | None = None,
+        description: str | None = None,
+        replace: bool = False,
+    ) -> DatasetRecord:
+        """Register ``dataset`` under ``name`` and return its record.
+
+        ``roles`` annotates columns (``{"gender": "protected", ...}``); every
+        annotated column must exist in the dataset's schema or numeric columns.
+        Same-fingerprint re-registration is an idempotent no-op; a different
+        dataset under an existing name raises
+        :class:`RegistrationConflictError` unless ``replace=True``, which drops
+        the old record *and all its rankings* (callers that pool sessions per
+        ranking key snapshot :meth:`ranking_keys` first and retire those
+        sessions — the service facade does).
+        """
+        _validate_name(name, "dataset")
+        roles = dict(roles or {})
+        known = set(dataset.attribute_names) | set(dataset.numeric_names)
+        for column in roles:
+            if column not in known:
+                raise RegistryError(
+                    f"role annotation names unknown column {column!r}; dataset "
+                    f"columns: {', '.join(sorted(known))}"
+                )
+        record = DatasetRecord(
+            name=name,
+            dataset=dataset,
+            fingerprint=dataset.fingerprint(),
+            columns=self._describe_columns(dataset, roles),
+            description=description,
+        )
+        with self._lock:
+            slot = self._datasets.get(name)
+            if slot is not None:
+                if slot.record.fingerprint == record.fingerprint:
+                    self.reregistrations += 1
+                    return slot.record
+                if not replace:
+                    raise RegistrationConflictError(
+                        f"dataset {name!r} is already registered with different "
+                        f"content (fingerprint {slot.record.fingerprint} != "
+                        f"{record.fingerprint}); pass replace=True to replace it"
+                    )
+                self.replacements += 1
+                self._datasets[name] = _DatasetSlot(
+                    record=record, generation=slot.generation + 1
+                )
+                return record
+            self._datasets[name] = _DatasetSlot(record=record)
+            return record
+
+    @staticmethod
+    def _describe_columns(
+        dataset: Dataset, roles: Mapping[str, str]
+    ) -> tuple[ColumnInfo, ...]:
+        columns = [
+            ColumnInfo(
+                name=attribute.name,
+                kind="categorical",
+                cardinality=attribute.cardinality,
+                role=roles.get(attribute.name),
+            )
+            for attribute in dataset.schema
+        ]
+        columns.extend(
+            ColumnInfo(name=name, kind="numeric", role=roles.get(name))
+            for name in dataset.numeric_names
+        )
+        return tuple(columns)
+
+    def dataset(self, name: str) -> DatasetRecord:
+        with self._lock:
+            slot = self._datasets.get(name)
+            if slot is None:
+                raise UnknownDatasetError(name, tuple(self._datasets))
+            return slot.record
+
+    def unregister_dataset(self, name: str) -> tuple[str, ...]:
+        """Drop a dataset and all its rankings; returns the dropped ranking keys."""
+        with self._lock:
+            slot = self._datasets.pop(name, None)
+            if slot is None:
+                raise UnknownDatasetError(name, tuple(self._datasets))
+            return tuple(slot.rankings)
+
+    def dataset_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._datasets)
+
+    # -- rankings -----------------------------------------------------------------
+    def register_ranking(
+        self,
+        dataset_name: str,
+        ranking_name: str,
+        ranking: Ranking | Ranker,
+        *,
+        description: str | None = None,
+        replace: bool = False,
+    ) -> RankingRecord:
+        """Register a ranking of a registered dataset under its composite key.
+
+        A :class:`~repro.ranking.base.Ranker` is ranked against the *registered*
+        dataset; a prebuilt :class:`~repro.ranking.base.Ranking` must rank
+        exactly that dataset (validated cheaply by fingerprint).  Identical
+        re-registration (same order) is idempotent; a different order under an
+        existing key needs ``replace=True``.
+        """
+        _validate_name(ranking_name, "ranking")
+        with self._lock:
+            slot = self._datasets.get(dataset_name)
+            if slot is None:
+                raise UnknownDatasetError(dataset_name, tuple(self._datasets))
+            record_dataset = slot.record.dataset
+        if isinstance(ranking, Ranker):
+            ranking = ranking.rank(record_dataset)
+        elif not (
+            ranking.dataset is record_dataset
+            or ranking.dataset.same_data(record_dataset)
+        ):
+            raise RegistryError(
+                f"the supplied ranking was built over a different dataset than "
+                f"the one registered as {dataset_name!r}"
+            )
+        key = ranking_key(dataset_name, ranking_name)
+        record = RankingRecord(
+            key=key,
+            dataset_name=dataset_name,
+            ranking_name=ranking_name,
+            ranking=ranking,
+            fingerprint=slot.record.fingerprint,
+            description=description,
+        )
+        with self._lock:
+            current = self._datasets.get(dataset_name)
+            if current is not slot:  # replaced/unregistered while ranking
+                raise UnknownDatasetError(dataset_name, tuple(self._datasets))
+            existing = slot.rankings.get(ranking_name)
+            if existing is not None:
+                if np.array_equal(existing.ranking.order, ranking.order):
+                    self.reregistrations += 1
+                    return existing
+                if not replace:
+                    raise RegistrationConflictError(
+                        f"ranking {key!r} is already registered with a different "
+                        f"order; pass replace=True to replace it"
+                    )
+                self.replacements += 1
+            slot.rankings[ranking_name] = record
+            return record
+
+    def ranking(self, key: str) -> RankingRecord:
+        dataset_name, _, ranking_name = key.partition(KEY_SEPARATOR)
+        with self._lock:
+            slot = self._datasets.get(dataset_name)
+            if slot is None or ranking_name not in slot.rankings:
+                return self._raise_unknown_ranking(key)
+            return slot.rankings[ranking_name]
+
+    def _raise_unknown_ranking(self, key: str) -> RankingRecord:
+        available = tuple(
+            record.key
+            for slot in self._datasets.values()
+            for record in slot.rankings.values()
+        )
+        raise UnknownRankingError(key, available)
+
+    def unregister_ranking(self, key: str) -> None:
+        dataset_name, _, ranking_name = key.partition(KEY_SEPARATOR)
+        with self._lock:
+            slot = self._datasets.get(dataset_name)
+            if slot is None or ranking_name not in slot.rankings:
+                self._raise_unknown_ranking(key)
+            del slot.rankings[ranking_name]
+
+    def ranking_keys(self, dataset: str | None = None) -> tuple[str, ...]:
+        with self._lock:
+            if dataset is not None:
+                slot = self._datasets.get(dataset)
+                if slot is None:
+                    raise UnknownDatasetError(dataset, tuple(self._datasets))
+                return tuple(record.key for record in slot.rankings.values())
+            return tuple(
+                record.key
+                for slot in self._datasets.values()
+                for record in slot.rankings.values()
+            )
+
+    # -- introspection ------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable snapshot of everything registered."""
+        with self._lock:
+            return {
+                "datasets": [slot.record.describe() for slot in self._datasets.values()],
+                "rankings": [
+                    record.describe()
+                    for slot in self._datasets.values()
+                    for record in slot.rankings.values()
+                ],
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)

@@ -1,0 +1,588 @@
+"""The multi-tenant audit service: :class:`AuditService`.
+
+This is the serving layer the rest of the package builds toward — a long-lived,
+embeddable facade that turns the single-caller :class:`~repro.core.session.
+AuditSession` into a concurrent, multi-tenant query service:
+
+* clients **register** named datasets and rankings once
+  (:class:`~repro.service.registry.DatasetRegistry` — validated, idempotent,
+  fingerprint-checked) and from then on speak in names, not data;
+* each registered ranking is served by **one warm pooled session**
+  (:class:`~repro.service.pool.SessionPool`, LRU-bounded by session count and
+  resident rows), built over a *named shared result store* so an evicted
+  session's finished sweeps survive and the re-created session starts warm;
+* concurrent requests pass **admission control**
+  (:class:`~repro.service.admission.AdmissionController`): per-tenant
+  concurrency quotas, bounded FIFO queues, and structured load shedding with a
+  ``retry_after`` hint once the queues are full;
+* a small pool of **dispatcher threads** serves admitted requests.  Each
+  dispatcher leases the request's pooled session and holds the entry's lock for
+  the duration — that lock is the concurrency boundary; the session's own
+  single-caller guard (:class:`~repro.exceptions.ConcurrentSessionUseError`)
+  would expose any violation;
+* a request's ``deadline`` is a wall-clock budget that starts at submit time
+  and **covers queue wait**: the dispatcher passes the remaining budget into
+  :meth:`AuditSession.run_many` as its per-call ``query_deadline``, and a
+  request whose budget expired while queued fails with the same
+  :class:`~repro.exceptions.QueryTimeoutError` a running timeout raises.
+
+Robustness is the point, so the failure surfaces are first-class:
+
+* :meth:`shutdown` stops admission, optionally drains the queues, waits
+  (bounded — it never hangs) for in-flight work, closes every pooled session
+  and discards the service's named stores.  :meth:`SessionPool.
+  assert_all_closed` is the acceptance check that nothing leaked;
+* :meth:`health` / :meth:`ready` expose the registry, pool, admission and
+  per-session breaker state (``degraded``) plus aggregate
+  :class:`~repro.core.stats.SearchStats` over everything served;
+* a :class:`~repro.service.faults.ServiceFaultPlan` injects worker faults into
+  pooled sessions and induces shedding/slow serving deterministically, which is
+  how the seeded multi-client chaos test drives every recovery path at once.
+
+Results are **bit-identical to serial one-shot calls** no matter how requests
+interleave: sessions already guarantee it per query, the pool serializes per
+session, and named stores are keyed per ranking, so concurrency only ever
+changes latency and provenance counters — never report content.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from repro.core.engine.parallel import ExecutionConfig
+from repro.core.planner import DetectionQuery
+from repro.core.result_store import (
+    discard_shared_result_store,
+    shared_result_store,
+    shared_result_store_names,
+)
+from repro.core.session import AuditSession
+from repro.core.detector import DetectionReport
+from repro.core.stats import SearchStats
+from repro.data.dataset import Dataset
+from repro.exceptions import QueryTimeoutError
+from repro.ranking.base import Ranker, Ranking
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    UnknownDatasetError,
+    UnknownRankingError,
+)
+from repro.service.faults import ServiceFaultPlan
+from repro.service.pool import SessionPool
+from repro.service.registry import (
+    DatasetRecord,
+    DatasetRegistry,
+    RankingRecord,
+    ranking_key,
+)
+
+__all__ = ["AuditFuture", "AuditService"]
+
+
+class AuditFuture:
+    """The pending result of one submitted request (a minimal thread-safe future).
+
+    Exactly one of :meth:`result` / :meth:`exception` resolves non-trivially:
+    completed requests carry their reports (in query order), failed ones carry
+    the typed error the service would have raised synchronously.
+    """
+
+    def __init__(self, tenant: str, key: str) -> None:
+        self.tenant = tenant
+        self.key = key
+        self._done = threading.Event()
+        self._reports: list[DetectionReport] | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> list[DetectionReport]:
+        """The request's reports; raises its typed error if it failed.
+
+        ``timeout`` bounds the *wait for completion* (raising the builtin
+        :class:`TimeoutError`); it does not cancel the request.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request for {self.key!r} (tenant {self.tenant!r}) still pending"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._reports is not None
+        return self._reports
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request for {self.key!r} (tenant {self.tenant!r}) still pending"
+            )
+        return self._error
+
+    # -- resolution (service-internal) --------------------------------------------
+    def _finish(self, reports: list[DetectionReport]) -> None:
+        self._reports = reports
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+@dataclass
+class _Request:
+    """One admitted unit of work, owned by the admission controller/dispatchers."""
+
+    ordinal: int
+    tenant: str
+    key: str
+    queries: tuple[DetectionQuery, ...]
+    future: AuditFuture
+    submitted_at: float
+    #: Absolute monotonic deadline (covers queue wait), or ``None``.
+    deadline_at: float | None = None
+
+
+#: Sentinel a dispatcher interprets as "exit your loop".
+_STOP = None
+
+
+class AuditService:
+    """A long-lived, multi-tenant audit service over registered rankings.
+
+    Parameters
+    ----------
+    execution:
+        The :class:`~repro.core.engine.parallel.ExecutionConfig` every pooled
+        session is built with (``None``: the documented serial defaults).  A
+        per-request ``deadline`` overrides its ``query_deadline`` for that
+        request only.
+    admission:
+        Per-tenant quotas and queue bounds
+        (:class:`~repro.service.admission.AdmissionConfig`).
+    max_sessions / max_resident_rows:
+        Session-pool bounds — see :class:`~repro.service.pool.SessionPool`.
+    dispatchers:
+        Number of dispatcher threads.  More dispatchers let distinct rankings
+        be served genuinely concurrently; requests for the *same* ranking
+        always serialize on the pooled session's lock.
+    store_namespace:
+        Prefix of the named shared result stores the service creates (one per
+        ranking key).  Evicting a session keeps its store — the warm-restart
+        path; :meth:`unregister_ranking` and :meth:`shutdown` discard them.
+    fault_plan:
+        Optional :class:`~repro.service.faults.ServiceFaultPlan` for
+        deterministic chaos testing.
+    """
+
+    def __init__(
+        self,
+        execution: ExecutionConfig | None = None,
+        admission: AdmissionConfig | None = None,
+        *,
+        max_sessions: int = 8,
+        max_resident_rows: int | None = None,
+        dispatchers: int = 2,
+        store_namespace: str = "audit-service",
+        fault_plan: ServiceFaultPlan | None = None,
+    ) -> None:
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be >= 1")
+        execution = execution if execution is not None else ExecutionConfig()
+        if fault_plan is not None and fault_plan.worker_faults is not None:
+            execution = replace(execution, fault_plan=fault_plan.worker_faults)
+        self._execution = execution
+        self._fault_plan = fault_plan
+        self._store_namespace = store_namespace
+        self._registry = DatasetRegistry()
+        self._admission: AdmissionController[_Request] = AdmissionController(admission)
+        self._pool = SessionPool(
+            self._build_session,
+            max_sessions=max_sessions,
+            max_resident_rows=max_resident_rows,
+        )
+        self._ready: "queue.Queue[_Request | None]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._pending = 0  # admitted (running or queued) but unresolved requests
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._injected_sheds = 0
+        self._injected_slowdowns = 0
+        self._stats = SearchStats()
+        self._closing = False
+        self._shutdown_complete = False
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop, name=f"audit-dispatch-{i}", daemon=True
+            )
+            for i in range(dispatchers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- registration (delegating to the registry, plus session/store lifecycle) --
+    @property
+    def registry(self) -> DatasetRegistry:
+        return self._registry
+
+    @property
+    def pool(self) -> SessionPool:
+        return self._pool
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    def register_dataset(
+        self,
+        name: str,
+        dataset: Dataset,
+        *,
+        roles: Mapping[str, str] | None = None,
+        description: str | None = None,
+        replace: bool = False,
+    ) -> DatasetRecord:
+        """Register (idempotently) a named dataset; see :class:`DatasetRegistry`.
+
+        Replacing a dataset retires every pooled session and named store built
+        over its old rankings — they served data that no longer exists.
+        """
+        old_keys: tuple[str, ...] = ()
+        if replace:
+            try:
+                old_keys = self._registry.ranking_keys(dataset=name)
+            except UnknownDatasetError:
+                old_keys = ()
+        record = self._registry.register_dataset(
+            name, dataset, roles=roles, description=description, replace=replace
+        )
+        if old_keys:
+            still_registered = set(self._registry.ranking_keys())
+            for key in old_keys:
+                if key not in still_registered:
+                    self._retire_key(key)
+        return record
+
+    def register_ranking(
+        self,
+        dataset_name: str,
+        ranking_name: str,
+        ranking: Ranking | Ranker,
+        *,
+        description: str | None = None,
+        replace: bool = False,
+    ) -> RankingRecord:
+        """Register (idempotently) a ranking of a registered dataset.
+
+        Replacing a ranking retires its pooled session and discards its named
+        store: cached sweeps describe the *old* order and must not serve the
+        new one.  Idempotent re-registration (identical order) keeps both —
+        that is the whole point of fingerprint-checked registration.
+        """
+        key = ranking_key(dataset_name, ranking_name)
+        try:
+            existing: RankingRecord | None = self._registry.ranking(key)
+        except (UnknownDatasetError, UnknownRankingError):
+            existing = None
+        record = self._registry.register_ranking(
+            dataset_name,
+            ranking_name,
+            ranking,
+            description=description,
+            replace=replace,
+        )
+        # Idempotent re-registration returns the existing record *object*; any
+        # other identity means the key now names different content.
+        if existing is not None and record is not existing:
+            self._retire_key(key)
+        return record
+
+    def unregister_ranking(self, key: str) -> None:
+        """Unregister a ranking; retires its session and discards its store."""
+        self._registry.unregister_ranking(key)
+        self._retire_key(key)
+
+    def unregister_dataset(self, name: str) -> tuple[str, ...]:
+        """Unregister a dataset and all its rankings; returns the dropped keys."""
+        dropped = self._registry.unregister_dataset(name)
+        for key in dropped:
+            self._retire_key(key)
+        return dropped
+
+    def describe(self) -> dict[str, object]:
+        """The registry's JSON-serialisable snapshot (client discovery)."""
+        return self._registry.describe()
+
+    # -- serving ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        key: str,
+        queries: DetectionQuery | Iterable[DetectionQuery],
+        *,
+        deadline: float | None = None,
+    ) -> AuditFuture:
+        """Submit a query batch against the ranking registered under ``key``.
+
+        Returns an :class:`AuditFuture` immediately.  Admission control may run
+        the request now, queue it behind the tenant's quota, or shed it — the
+        shed case raises :class:`~repro.service.errors.ServiceOverloadedError`
+        *here*, synchronously, before any resources are held.  ``deadline`` is
+        the request's wall-clock budget in seconds, measured from now and
+        **inclusive of queue wait**; each query of the batch is bounded by
+        whatever remains when serving starts (see
+        :meth:`AuditSession.run_many`).
+        """
+        if isinstance(queries, DetectionQuery):
+            queries = (queries,)
+        batch = tuple(queries)
+        if not batch:
+            raise ValueError("submit() needs at least one DetectionQuery")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        record = self._registry.ranking(key)  # raises UnknownRankingError
+        now = time.monotonic()
+        with self._lock:
+            if self._closing:
+                raise ServiceClosedError(
+                    "the audit service is shutting down and admits no new requests"
+                )
+            self._submitted += 1
+            ordinal = self._submitted
+        future = AuditFuture(tenant, record.key)
+        request = _Request(
+            ordinal=ordinal,
+            tenant=tenant,
+            key=record.key,
+            queries=batch,
+            future=future,
+            submitted_at=now,
+            deadline_at=None if deadline is None else now + deadline,
+        )
+        if self._fault_plan is not None and self._fault_plan.sheds(ordinal):
+            with self._lock:
+                self._injected_sheds += 1
+            raise ServiceOverloadedError(
+                f"request shed (injected fault) for tenant {tenant!r}",
+                tenant=tenant,
+                retry_after=self._admission.config.retry_after,
+            )
+        with self._idle:
+            self._pending += 1
+        try:
+            dispatch_now = self._admission.admit(tenant, request)
+        except ServiceOverloadedError:
+            with self._idle:
+                self._pending -= 1
+                self._idle.notify_all()
+            raise
+        if dispatch_now:
+            self._ready.put(request)
+        return future
+
+    def run(
+        self,
+        tenant: str,
+        key: str,
+        queries: DetectionQuery | Iterable[DetectionQuery],
+        *,
+        deadline: float | None = None,
+    ) -> list[DetectionReport]:
+        """Submit and wait: the synchronous convenience over :meth:`submit`."""
+        return self.submit(tenant, key, queries, deadline=deadline).result()
+
+    # -- dispatching --------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            request = self._ready.get()
+            if request is _STOP:
+                return
+            try:
+                self._serve(request)
+            finally:
+                promoted = self._admission.release(request.tenant)
+                if promoted is not None:
+                    self._ready.put(promoted)
+
+    def _serve(self, request: _Request) -> None:
+        if self._fault_plan is not None:
+            stall = self._fault_plan.slowdown(request.ordinal)
+            if stall > 0:
+                with self._lock:
+                    self._injected_slowdowns += 1
+                time.sleep(stall)
+        started = time.monotonic()
+        budget: float | None = None
+        if request.deadline_at is not None:
+            budget = request.deadline_at - started
+            if budget <= 0:
+                self._resolve_error(
+                    request,
+                    QueryTimeoutError(
+                        f"request deadline expired after "
+                        f"{started - request.submitted_at:.3f}s in queue "
+                        f"(tenant {request.tenant!r}, ranking {request.key!r})"
+                    ),
+                )
+                return
+        try:
+            entry = self._pool.lease(request.key)
+        except BaseException as error:  # pool closed mid-shutdown, factory failure
+            self._resolve_error(request, error)
+            return
+        try:
+            with entry.lock:
+                reports = entry.session.run_many(
+                    request.queries, query_deadline=budget
+                )
+        except BaseException as error:
+            self._resolve_error(request, error)
+            return
+        finally:
+            self._pool.release(entry)
+        queue_wait = started - request.submitted_at
+        aggregate = SearchStats()
+        for report in reports:
+            report.stats.queue_wait_seconds = queue_wait
+            aggregate.absorb(report.stats)
+        with self._idle:
+            self._stats.absorb(aggregate)
+            self._completed += 1
+            self._pending -= 1
+            self._idle.notify_all()
+        request.future._finish(reports)
+
+    def _resolve_error(self, request: _Request, error: BaseException) -> None:
+        with self._idle:
+            self._failed += 1
+            self._pending -= 1
+            self._idle.notify_all()
+        request.future._fail(error)
+
+    # -- session/store lifecycle --------------------------------------------------
+    def _store_name(self, key: str) -> str:
+        return f"{self._store_namespace}:{key}"
+
+    def _build_session(self, key: str) -> AuditSession:
+        record = self._registry.ranking(key)
+        store = shared_result_store(self._store_name(key))
+        return AuditSession(
+            record.ranking.dataset,
+            record.ranking,
+            execution=self._execution,
+            store=store,
+        )
+
+    def _retire_key(self, key: str) -> None:
+        """Retire the pooled session for ``key`` and discard its named store."""
+        self._pool.retire(key)
+        discard_shared_result_store(self._store_name(key))
+
+    # -- health -------------------------------------------------------------------
+    def ready(self) -> bool:
+        """Whether the service is accepting new requests."""
+        with self._lock:
+            return not self._closing
+
+    def health(self) -> dict[str, object]:
+        """A point-in-time, JSON-serialisable health snapshot.
+
+        ``sessions`` reports each resident pooled session including its circuit
+        breaker state (``degraded`` — serving serially after worker faults);
+        ``stats`` aggregates the :class:`~repro.core.stats.SearchStats` of every
+        report the service ever returned (so ``executor_recoveries`` /
+        ``worker_restarts`` there tell the fleet-wide fault story).
+        """
+        sessions = [
+            {
+                "key": entry.key,
+                "degraded": entry.session.degraded,
+                "closed": entry.session.closed,
+                "leases": entry.leases,
+                "queries_served": entry.queries_served,
+                "rows": entry.rows,
+            }
+            for entry in self._pool.entries()
+        ]
+        with self._lock:
+            requests = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "pending": self._pending,
+                "injected_sheds": self._injected_sheds,
+                "injected_slowdowns": self._injected_slowdowns,
+            }
+            stats = self._stats.as_dict()
+            status = "closing" if self._closing else "ok"
+            if self._shutdown_complete:
+                status = "closed"
+        return {
+            "status": status,
+            "ready": status == "ok",
+            "datasets": list(self._registry.dataset_names()),
+            "rankings": list(self._registry.ranking_keys()),
+            "pool": self._pool.snapshot(),
+            "admission": self._admission.snapshot(),
+            "sessions": sessions,
+            "requests": requests,
+            "stats": stats,
+        }
+
+    # -- shutdown -----------------------------------------------------------------
+    def shutdown(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop admitting, settle outstanding work, close everything (idempotent).
+
+        With ``drain=True`` (the default) queued requests are still served;
+        with ``drain=False`` they fail immediately with
+        :class:`~repro.service.errors.ServiceClosedError` and only the requests
+        already running are awaited.  The wait is bounded by ``timeout`` —
+        shutdown *never hangs*: whatever is still unsettled when the timeout
+        expires is abandoned to its (daemon) dispatcher, and the pool close
+        below retires its leased session so the bookkeeping stays truthful.
+        """
+        with self._lock:
+            if self._shutdown_complete:
+                return
+            first = not self._closing
+            self._closing = True
+        deadline = time.monotonic() + timeout
+        if first and not drain:
+            for request in self._admission.drain_queued():
+                self._resolve_error(
+                    request,
+                    ServiceClosedError(
+                        f"the audit service shut down before this request ran "
+                        f"(tenant {request.tenant!r}, ranking {request.key!r})"
+                    ),
+                )
+        with self._idle:
+            while self._pending > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+        for _ in self._dispatchers:
+            self._ready.put(_STOP)
+        for thread in self._dispatchers:
+            thread.join(max(0.05, deadline - time.monotonic()))
+        self._pool.close_all()
+        for name in shared_result_store_names():
+            if name.startswith(f"{self._store_namespace}:"):
+                discard_shared_result_store(name)
+        with self._lock:
+            self._shutdown_complete = True
+
+    def __enter__(self) -> "AuditService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -41,6 +41,7 @@ from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
 from repro.core.engine.faults import (
     FaultAction,
     FaultPlan,
+    HANG,
     KILL,
     STALL_HEARTBEATS,
     drop_result,
@@ -48,7 +49,8 @@ from repro.core.engine.faults import (
     kill_worker,
 )
 from repro.core.engine.parallel import ExecutionConfig
-from repro.core.result_store import DiskResultStore
+from repro.core.planner import query_group_key
+from repro.core.result_store import DiskResultStore, InMemoryResultStore
 from repro.core.session import AuditSession, DetectionQuery, detect_biased_groups
 from repro.data.synthetic import SyntheticSpec, synthetic_dataset
 from repro.exceptions import QueryTimeoutError
@@ -295,6 +297,57 @@ class TestBatchInterruption:
             assert [r.result for r in reports] == references
             assert sum(r.stats.worker_restarts for r in reports) == 0
             assert len(store) == len(queries)
+
+    @pytest.mark.parametrize("algorithm", ["iter_td", "global_bounds", "prop_bounds"])
+    def test_partial_reports_expose_exactly_the_completed_prefix(self, algorithm):
+        """A mid-batch timeout's ``partial_reports`` is the serving layer's
+        contract: completed queries carry full, oracle-identical reports in
+        input order, unserved ones are ``None``, and the store holds exactly
+        the completed steps — for every algorithm the interrupted step runs."""
+        dataset, ranking = _instance(263, 56, [2, 3], 1.0)
+        first = DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 30,
+                               "global_bounds")
+        if algorithm == "prop_bounds":
+            second = DetectionQuery(ProportionalBoundSpec(alpha=0.9), 2, 2, 30,
+                                    algorithm)
+        elif algorithm == "global_bounds":
+            # Wider bound than step 1: a *tighter* one is answered from the
+            # warm engine without dispatching a single worker task, and a
+            # fault that never fires means no timeout to observe.
+            second = DetectionQuery(GlobalBoundSpec(lower_bounds=1.0), 2, 2, 30,
+                                    algorithm)
+        else:
+            second = DetectionQuery(GlobalBoundSpec(lower_bounds=3.0), 2, 2, 30,
+                                    algorithm)
+        reference = _oracle(dataset, ranking, first)
+        # Step 1 is a single covering search, so no worker sees more than one
+        # task before step 2 begins; a worker's *second* task therefore always
+        # belongs to the second step.  The fault is not pinned to a worker
+        # index — the sweep may shard onto either worker — so whichever worker
+        # reaches its second task hangs past the deadline and trips it.
+        plan = FaultPlan(
+            actions=(FaultAction(HANG, worker=None, at_task=2, seconds=2.0),)
+        )
+        config = _recovery_config(plan, heartbeat_timeout=30.0, query_deadline=0.6)
+        store = InMemoryResultStore()
+        with AuditSession(dataset, ranking, execution=config, store=store,
+                          result_cache_capacity=0) as session:
+            with pytest.raises(QueryTimeoutError) as excinfo:
+                session.run_many([first, second])
+        error = excinfo.value
+        assert error.partial_reports is not None
+        completed, unserved = error.partial_reports
+        assert unserved is None
+        assert completed.result == reference
+        assert completed.query == first
+        # Partial-progress stats travel with the error too.
+        assert error.stats is not None
+        assert error.stats.query_deadline_exceeded == 1
+        # The store retains exactly the completed step's sweep: the first
+        # query's group is covered, the interrupted one's is not.
+        fingerprint = dataset.fingerprint()
+        assert store.coverage(fingerprint, query_group_key(first)) != ()
+        assert store.coverage(fingerprint, query_group_key(second)) == ()
 
 
 # -- seeded chaos vs the serial oracle -----------------------------------------------

@@ -38,8 +38,11 @@ from repro.core.planner import DetectionQuery, query_group_key
 from repro.core.result_store import (
     DiskResultStore,
     InMemoryResultStore,
+    clear_shared_result_stores,
+    discard_shared_result_store,
     reset_shared_result_stores,
     shared_result_store,
+    shared_result_store_names,
 )
 from repro.core.serialization import (
     SWEEP_FORMAT_VERSION,
@@ -213,6 +216,36 @@ class TestSharedStore:
         with AuditSession(dataset, ranking) as session:
             again = session.run(DetectionQuery(FLAT, 2, 2, 30, "global_bounds"))
         assert again.stats.result_cache_misses == 1
+
+    def test_named_store_lifecycle_helpers(self):
+        """A serving layer pools named stores per key; discard/clear are how it
+        avoids leaking them when keys are unregistered or the process resets."""
+        store_a = shared_result_store("svc:a")
+        shared_result_store("svc:b")
+        assert sorted(shared_result_store_names()) == ["svc:a", "svc:b"]
+        # Discard drops the name; the next request under it starts cold.
+        assert discard_shared_result_store("svc:a") is True
+        assert discard_shared_result_store("svc:a") is False  # already gone
+        assert shared_result_store_names() == ("svc:b",)
+        assert shared_result_store("svc:a") is not store_a
+        clear_shared_result_stores()
+        assert shared_result_store_names() == ()
+        # reset_* is the same operation under its older test-fixture name.
+        shared_result_store("svc:c")
+        reset_shared_result_stores()
+        assert shared_result_store_names() == ()
+
+    def test_discarded_store_keeps_serving_existing_holders(self):
+        """Discarding unlinks the *name*; sessions already built over the store
+        keep their reference — eviction/unregistration never yanks a store out
+        from under a running query."""
+        dataset, ranking = _instance(407, 48, [2, 3], 1.0)
+        store = shared_result_store("svc:live")
+        with AuditSession(dataset, ranking, store=store) as session:
+            session.run(DetectionQuery(FLAT, 2, 2, 30, "global_bounds"))
+            discard_shared_result_store("svc:live")
+            again = session.run(DetectionQuery(FLAT, 2, 5, 20, "global_bounds"))
+        assert again.stats.result_cache_hits == 1
 
     def test_fingerprint_keying_separates_datasets(self):
         store = shared_result_store("separation")
@@ -442,6 +475,33 @@ json.dump({{
 
 
 # -- disk-store hygiene: quarantine, size bound, concurrent writers -------------------
+class TestNonPosixDegradation:
+    def test_disk_store_works_without_fcntl(self, tmp_path, monkeypatch):
+        """On platforms without :mod:`fcntl` the advisory writer lock degrades
+        to a no-op and the store must stay fully functional (atomic replace
+        remains the only cross-process guarantee): insert, containment lookup,
+        eviction and clear all run without the module."""
+        from repro.core import result_store as result_store_module
+
+        monkeypatch.setattr(result_store_module, "_fcntl", None)
+        dataset, ranking = _instance(439, 48, [2, 3], 1.0)
+        store = DiskResultStore(tmp_path, max_entries=1)
+        query = DetectionQuery(FLAT, 2, 2, 30, "global_bounds")
+        with AuditSession(dataset, ranking, store=store,
+                          result_cache_capacity=0) as session:
+            session.run(query)
+            served = session.run(DetectionQuery(FLAT, 2, 5, 20, "global_bounds"))
+            assert served.stats.result_cache_hits == 1
+            # The size bound still evicts (lock-free) when a second group lands.
+            session.run(DetectionQuery(FLAT, 3, 2, 30, "global_bounds"))
+        assert len(store) == 1
+        assert store.evictions == 1
+        # No advisory lock file was ever created, and clear() still works.
+        assert not (tmp_path / ".lock").exists()
+        store.clear()
+        assert len(store) == 0
+
+
 class TestDiskStoreHygiene:
     def test_corrupt_entry_is_quarantined_not_reparsed(self, tmp_path):
         """A corrupt file is renamed to *.corrupt on first contact, so later

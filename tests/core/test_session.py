@@ -343,6 +343,58 @@ class TestSessionLifecycle:
         assert [report.query for report in reports] == queries
 
 
+# -- the single-caller guard ----------------------------------------------------------
+class TestSingleCallerGuard:
+    def test_concurrent_use_raises_typed_error(self):
+        """Sessions attribute per-query stats through warm-engine snapshot
+        deltas, so two interleaved callers would silently corrupt each other's
+        counters.  The guard turns that misuse into a typed error while the
+        first caller's query completes untouched — and the session stays fully
+        usable afterwards."""
+        import threading
+
+        from repro.exceptions import ConcurrentSessionUseError
+
+        dataset, ranking = _instance(118, 48, [2, 2], 1.0)
+        query = DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 20)
+        reference = detect_biased_groups(
+            dataset, ranking, query.effective_bound(), 2, 2, 20
+        ).result
+        with AuditSession(dataset, ranking, result_cache_capacity=0) as session:
+            entered = threading.Event()
+            proceed = threading.Event()
+            original_execute = session._execute
+
+            def blocking_execute(*args, **kwargs):
+                # Deterministic overlap: signal the main thread we are inside
+                # the guarded section, then wait for it to finish its attempt.
+                entered.set()
+                assert proceed.wait(timeout=30), "main thread never released us"
+                return original_execute(*args, **kwargs)
+
+            session._execute = blocking_execute
+            outcome: list[object] = []
+            worker = threading.Thread(
+                target=lambda: outcome.append(session.run(query))
+            )
+            worker.start()
+            try:
+                assert entered.wait(timeout=30), "worker never entered the session"
+                with pytest.raises(ConcurrentSessionUseError, match="single-caller"):
+                    session.run(query)
+                with pytest.raises(ConcurrentSessionUseError):
+                    session.run_many([query])
+            finally:
+                proceed.set()
+                worker.join(timeout=60)
+            assert not worker.is_alive()
+            session._execute = original_execute
+            # The guarded query completed normally and the lock was released:
+            # the session serves the next caller as if nothing happened.
+            assert outcome[0].result == reference
+            assert session.run(query).result == reference
+
+
 # -- serial reattach after a worker death ---------------------------------------------
 class TestSerialReattach:
     def test_worker_death_mid_session_reattaches_serially(self):

@@ -1,0 +1,121 @@
+"""AdmissionController: quotas, FIFO queues, shedding, slot promotion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.errors import ServiceOverloadedError
+
+
+def _controller(**overrides) -> AdmissionController:
+    settings = dict(max_concurrent_per_tenant=1, max_queue_per_tenant=2)
+    settings.update(overrides)
+    return AdmissionController(AdmissionConfig(**settings))
+
+
+class TestConfigValidation:
+    def test_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_concurrent_per_tenant=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_per_tenant=-1)
+        with pytest.raises(ValueError):
+            AdmissionConfig(retry_after=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_total=-1)
+
+
+class TestQuotaAndQueue:
+    def test_within_quota_dispatches_immediately(self):
+        controller = _controller(max_concurrent_per_tenant=2)
+        assert controller.admit("a", "r1") is True
+        assert controller.admit("a", "r2") is True
+        assert controller.in_flight("a") == 2
+        assert controller.queued("a") == 0
+
+    def test_beyond_quota_queues_fifo(self):
+        controller = _controller()
+        assert controller.admit("a", "r1") is True
+        assert controller.admit("a", "r2") is False
+        assert controller.admit("a", "r3") is False
+        assert controller.queued("a") == 2
+        # Promotion preserves submission order and keeps in_flight constant.
+        assert controller.release("a") == "r2"
+        assert controller.in_flight("a") == 1
+        assert controller.release("a") == "r3"
+        assert controller.release("a") is None
+        assert controller.in_flight("a") == 0
+
+    def test_tenants_are_isolated(self):
+        controller = _controller()
+        assert controller.admit("a", "r1") is True
+        # Tenant b's quota is untouched by a's in-flight request.
+        assert controller.admit("b", "r2") is True
+        assert controller.in_flight() == 2
+
+    def test_release_without_admit_is_an_error(self):
+        controller = _controller()
+        with pytest.raises(ValueError, match="matching admit"):
+            controller.release("a")
+
+
+class TestShedding:
+    def test_full_tenant_queue_sheds_with_structured_error(self):
+        controller = _controller()  # quota 1, queue 2
+        controller.admit("a", "r1")
+        controller.admit("a", "r2")
+        controller.admit("a", "r3")
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.admit("a", "r4")
+        error = excinfo.value
+        assert error.tenant == "a"
+        assert error.in_flight == 1
+        assert error.queued == 2
+        # The back-off hint grows with queue depth (monotone signal).
+        assert error.retry_after == pytest.approx(
+            controller.config.retry_after * (1 + 2)
+        )
+        assert controller.snapshot()["a"]["shed"] == 1
+
+    def test_total_queue_bound_sheds_across_tenants(self):
+        controller = _controller(max_queue_per_tenant=5, max_queue_total=1)
+        controller.admit("a", "r1")
+        controller.admit("a", "r2")  # queued; total queue now full
+        controller.admit("b", "r3")  # within b's quota, runs
+        with pytest.raises(ServiceOverloadedError, match="service queue"):
+            controller.admit("b", "r4")
+
+    def test_zero_queue_sheds_immediately_beyond_quota(self):
+        controller = _controller(max_queue_per_tenant=0)
+        controller.admit("a", "r1")
+        with pytest.raises(ServiceOverloadedError):
+            controller.admit("a", "r2")
+
+
+class TestDrain:
+    def test_drain_returns_queued_not_running(self):
+        controller = _controller()
+        controller.admit("a", "r1")
+        controller.admit("a", "r2")
+        controller.admit("b", "r3")
+        controller.admit("b", "r4")
+        drained = controller.drain_queued()
+        assert sorted(drained) == ["r2", "r4"]
+        assert controller.queued() == 0
+        assert controller.in_flight() == 2
+        # Running slots release normally afterwards.
+        assert controller.release("a") is None
+        assert controller.release("b") is None
+
+    def test_snapshot_counters(self):
+        controller = _controller()
+        controller.admit("a", "r1")
+        controller.admit("a", "r2")
+        controller.release("a")
+        controller.release("a")
+        state = controller.snapshot()["a"]
+        assert state["admitted"] == 1
+        assert state["queued_total"] == 1
+        assert state["completed"] == 2
+        assert state["in_flight"] == 0

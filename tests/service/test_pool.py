@@ -1,0 +1,172 @@
+"""SessionPool: LRU bounds, lease-safe eviction, exact close bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import AuditSession
+from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+from repro.ranking.base import PrecomputedRanker
+from repro.service.errors import ServiceError
+from repro.service.pool import SessionPool
+
+
+def _session_factory(n_rows: int = 24):
+    """A factory building one tiny real session per key (seeded by key hash)."""
+
+    def build(key: str) -> AuditSession:
+        seed = sum(ord(c) for c in key) % 1000
+        spec = SyntheticSpec(
+            n_rows=n_rows,
+            cardinalities=[2, 2],
+            score_weights=[1.0, -0.5],
+            noise=0.3,
+            seed=seed,
+        )
+        dataset = synthetic_dataset(spec)
+        ranking = PrecomputedRanker(score_column="score").rank(dataset)
+        return AuditSession(dataset, ranking)
+
+    return build
+
+
+class TestLeasing:
+    def test_lease_creates_once_and_reuses(self):
+        pool = SessionPool(_session_factory(), max_sessions=4)
+        first = pool.lease("a")
+        pool.release(first)
+        second = pool.lease("a")
+        pool.release(second)
+        assert second is first
+        assert pool.sessions_created == 1
+        assert second.queries_served == 2  # one per release
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_release_without_lease_is_an_error(self):
+        pool = SessionPool(_session_factory(), max_sessions=4)
+        entry = pool.lease("a")
+        pool.release(entry)
+        with pytest.raises(ValueError, match="matching lease"):
+            pool.release(entry)
+        pool.close_all()
+
+    def test_lease_after_close_refuses(self):
+        pool = SessionPool(_session_factory(), max_sessions=4)
+        pool.close_all()
+        with pytest.raises(ServiceError, match="closed"):
+            pool.lease("a")
+
+
+class TestEviction:
+    def test_lru_eviction_closes_oldest(self):
+        pool = SessionPool(_session_factory(), max_sessions=2)
+        a = pool.lease("a"); pool.release(a)
+        b = pool.lease("b"); pool.release(b)
+        c = pool.lease("c"); pool.release(c)  # evicts "a" (least recently leased)
+        assert pool.keys() == ("b", "c")
+        assert pool.evictions == 1
+        assert a.session.closed
+        assert not b.session.closed
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_leasing_refreshes_lru_position(self):
+        pool = SessionPool(_session_factory(), max_sessions=2)
+        a = pool.lease("a"); pool.release(a)
+        b = pool.lease("b"); pool.release(b)
+        a2 = pool.lease("a"); pool.release(a2)  # "a" is now most recent
+        pool.release(pool.lease("c"))  # evicts "b"
+        assert pool.keys() == ("a", "c")
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_max_resident_rows_bounds_memory_proxy(self):
+        pool = SessionPool(_session_factory(n_rows=24), max_sessions=10,
+                           max_resident_rows=40)
+        pool.release(pool.lease("a"))
+        pool.release(pool.lease("b"))  # 48 resident rows > 40: "a" is evicted
+        assert pool.keys() == ("b",)
+        assert pool.evictions == 1
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_leased_victim_is_not_closed_mid_query(self):
+        """Eviction of a leased entry defers the close to the final release."""
+        pool = SessionPool(_session_factory(), max_sessions=1)
+        a = pool.lease("a")  # still leased
+        b = pool.lease("b")  # over bound; the only victim ("a") is leased
+        assert a.retired
+        assert not a.session.closed
+        # The retired entry is out of the key space: a new lease of "a" must
+        # build a fresh session rather than resurrect the retired one.
+        fresh = pool.lease("a")
+        assert fresh is not a
+        pool.release(fresh)
+        pool.release(b)
+        pool.release(a)  # final release closes the retired session
+        assert a.session.closed
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_protected_key_is_never_evicted(self):
+        pool = SessionPool(_session_factory(), max_sessions=1)
+        a = pool.lease("a"); pool.release(a)
+        b = pool.lease("b")  # pool of 1: must evict "a", never "b" itself
+        assert a.session.closed
+        assert not b.session.closed
+        pool.release(b)
+        pool.close_all()
+        pool.assert_all_closed()
+
+
+class TestRetire:
+    def test_retire_unleased_closes_immediately(self):
+        pool = SessionPool(_session_factory(), max_sessions=4)
+        a = pool.lease("a"); pool.release(a)
+        assert pool.retire("a") is True
+        assert a.session.closed
+        assert pool.retire("a") is False  # already gone
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_retire_leased_defers_close(self):
+        pool = SessionPool(_session_factory(), max_sessions=4)
+        a = pool.lease("a")
+        assert pool.retire("a") is True
+        assert not a.session.closed
+        pool.release(a)
+        assert a.session.closed
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_close_all_is_idempotent_and_exact(self):
+        pool = SessionPool(_session_factory(), max_sessions=4)
+        pool.release(pool.lease("a"))
+        pool.release(pool.lease("b"))
+        pool.close_all()
+        pool.close_all()
+        assert pool.sessions_created == pool.sessions_closed == 2
+        pool.assert_all_closed()
+
+    def test_assert_all_closed_reports_leaks(self):
+        pool = SessionPool(_session_factory(), max_sessions=4)
+        entry = pool.lease("a")
+        with pytest.raises(ServiceError, match="session-pool leak"):
+            pool.assert_all_closed()
+        pool.release(entry)
+        pool.close_all()
+        pool.assert_all_closed()
+
+    def test_snapshot_counts(self):
+        pool = SessionPool(_session_factory(), max_sessions=2)
+        pool.release(pool.lease("a"))
+        pool.release(pool.lease("b"))
+        pool.release(pool.lease("c"))
+        snapshot = pool.snapshot()
+        assert snapshot["open"] == 2
+        assert snapshot["sessions_created"] == 3
+        assert snapshot["evictions"] == 1
+        pool.close_all()
+        pool.assert_all_closed()

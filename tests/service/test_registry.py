@@ -1,0 +1,162 @@
+"""DatasetRegistry: validated names, fingerprint idempotency, replacement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+from repro.ranking.base import PrecomputedRanker
+from repro.service.errors import (
+    RegistrationConflictError,
+    RegistryError,
+    UnknownDatasetError,
+    UnknownRankingError,
+)
+from repro.service.registry import DatasetRegistry, ranking_key
+
+
+def _dataset(seed: int, n_rows: int = 40, cardinalities=(3, 2)):
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(-1.5, 1.5, size=len(cardinalities)).tolist()
+    spec = SyntheticSpec(
+        n_rows=n_rows,
+        cardinalities=list(cardinalities),
+        score_weights=weights,
+        noise=0.4,
+        seed=seed,
+    )
+    return synthetic_dataset(spec)
+
+
+def _ranking(dataset):
+    return PrecomputedRanker(score_column="score").rank(dataset)
+
+
+class TestDatasetRegistration:
+    def test_register_describes_columns_and_roles(self):
+        registry = DatasetRegistry()
+        dataset = _dataset(11)
+        record = registry.register_dataset(
+            "census", dataset, roles={"A1": "protected", "score": "score"}
+        )
+        assert record.fingerprint == dataset.fingerprint()
+        assert record.column("A1").role == "protected"
+        assert record.column("A1").kind == "categorical"
+        assert record.column("A1").cardinality == 3
+        assert record.column("score").kind == "numeric"
+        described = record.describe()
+        assert described["rows"] == dataset.n_rows
+        assert {c["name"] for c in described["columns"]} >= {"A1", "A2", "score"}
+
+    def test_unknown_role_column_fails_registration(self):
+        registry = DatasetRegistry()
+        with pytest.raises(RegistryError, match="unknown column"):
+            registry.register_dataset("census", _dataset(11), roles={"nope": "protected"})
+        assert registry.dataset_names() == ()
+
+    def test_invalid_names_rejected(self):
+        registry = DatasetRegistry()
+        with pytest.raises(RegistryError):
+            registry.register_dataset("", _dataset(11))
+        with pytest.raises(RegistryError, match="cannot contain"):
+            registry.register_dataset("a/b", _dataset(11))
+
+    def test_same_fingerprint_reregistration_is_idempotent(self):
+        registry = DatasetRegistry()
+        first = registry.register_dataset("census", _dataset(11))
+        again = registry.register_dataset("census", _dataset(11))
+        assert again is first
+        assert registry.reregistrations == 1
+
+    def test_conflicting_reregistration_needs_replace(self):
+        registry = DatasetRegistry()
+        registry.register_dataset("census", _dataset(11))
+        registry.register_ranking("census", "r", _ranking(_dataset(11)))
+        other = _dataset(13)
+        with pytest.raises(RegistrationConflictError, match="replace=True"):
+            registry.register_dataset("census", other)
+        record = registry.register_dataset("census", other, replace=True)
+        assert record.fingerprint == other.fingerprint()
+        assert registry.replacements == 1
+        # Replacement drops the dependent rankings.
+        assert registry.ranking_keys(dataset="census") == ()
+
+    def test_unknown_dataset_error_lists_available(self):
+        registry = DatasetRegistry()
+        registry.register_dataset("census", _dataset(11))
+        with pytest.raises(UnknownDatasetError, match="census") as excinfo:
+            registry.dataset("payroll")
+        assert excinfo.value.available == ("census",)
+
+    def test_unregister_dataset_reports_dropped_ranking_keys(self):
+        registry = DatasetRegistry()
+        dataset = _dataset(11)
+        registry.register_dataset("census", dataset)
+        registry.register_ranking("census", "a", _ranking(dataset))
+        registry.register_ranking("census", "b", _ranking(dataset))
+        dropped = registry.unregister_dataset("census")
+        assert sorted(dropped) == ["a", "b"]
+        assert len(registry) == 0
+
+
+class TestRankingRegistration:
+    def test_ranker_is_ranked_against_registered_dataset(self):
+        registry = DatasetRegistry()
+        dataset = _dataset(11)
+        registry.register_dataset("census", dataset)
+        record = registry.register_ranking(
+            "census", "by-score", PrecomputedRanker(score_column="score")
+        )
+        assert record.key == ranking_key("census", "by-score")
+        assert np.array_equal(record.ranking.order, _ranking(dataset).order)
+
+    def test_prebuilt_ranking_must_rank_the_registered_dataset(self):
+        registry = DatasetRegistry()
+        registry.register_dataset("census", _dataset(11))
+        foreign = _ranking(_dataset(13))
+        with pytest.raises(RegistryError, match="different dataset"):
+            registry.register_ranking("census", "by-score", foreign)
+
+    def test_identical_order_reregistration_is_idempotent(self):
+        registry = DatasetRegistry()
+        dataset = _dataset(11)
+        registry.register_dataset("census", dataset)
+        first = registry.register_ranking("census", "r", _ranking(dataset))
+        again = registry.register_ranking("census", "r", _ranking(dataset))
+        assert again is first
+        assert registry.reregistrations == 1
+
+    def test_different_order_needs_replace(self):
+        registry = DatasetRegistry()
+        dataset = _dataset(11)
+        registry.register_dataset("census", dataset)
+        registry.register_ranking("census", "r", _ranking(dataset))
+        reversed_ranking = PrecomputedRanker(
+            score_column="score", descending=False
+        ).rank(dataset)
+        with pytest.raises(RegistrationConflictError):
+            registry.register_ranking("census", "r", reversed_ranking)
+        record = registry.register_ranking("census", "r", reversed_ranking, replace=True)
+        assert np.array_equal(record.ranking.order, reversed_ranking.order)
+        assert registry.replacements == 1
+
+    def test_unknown_ranking_error_lists_available(self):
+        registry = DatasetRegistry()
+        dataset = _dataset(11)
+        registry.register_dataset("census", dataset)
+        registry.register_ranking("census", "r", _ranking(dataset))
+        with pytest.raises(UnknownRankingError) as excinfo:
+            registry.ranking("census/missing")
+        assert excinfo.value.available == ("census/r",)
+        with pytest.raises(UnknownRankingError):
+            registry.unregister_ranking("census/missing")
+
+    def test_describe_covers_datasets_and_rankings(self):
+        registry = DatasetRegistry()
+        dataset = _dataset(11)
+        registry.register_dataset("census", dataset, description="the census")
+        registry.register_ranking("census", "r", _ranking(dataset))
+        snapshot = registry.describe()
+        assert [d["name"] for d in snapshot["datasets"]] == ["census"]
+        assert [r["key"] for r in snapshot["rankings"]] == ["census/r"]

@@ -1,0 +1,230 @@
+"""Seeded multi-client chaos: the service acceptance scenario.
+
+Each round drives one :class:`AuditService` through every failure mode at once,
+deterministically:
+
+* **phase 1 — worker faults**: each registered ranking serves its first request
+  with a scheduled worker kill inside its pooled session's executor; the
+  supervisor respawns the worker and the response must match the fault-free
+  serial oracle bit-for-bit;
+* **phase 2 — concurrent storm**: several tenant threads submit interleaved
+  requests while the fault plan sheds one submit ordinal and stalls another,
+  and one request carries a deliberately impossible deadline.  Every completed
+  response must equal the oracle; every failure must be a *typed* error
+  (:class:`ServiceOverloadedError` or :class:`QueryTimeoutError`) — nothing
+  else, ever;
+* **epilogue — clean shutdown**: the pool's close bookkeeping must be exact
+  (:meth:`SessionPool.assert_all_closed`), the shared-store registry empty and
+  no worker process left behind.
+
+Set ``REPRO_SERVICE_CHAOS_ROUNDS`` (or the suite-wide ``REPRO_CHAOS_ROUNDS``)
+to raise the round count; CI smoke runs a couple of rounds, nightly runs more.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
+from repro.core.engine.faults import KILL, FaultAction, FaultPlan
+from repro.core.engine.parallel import ExecutionConfig
+from repro.core.planner import DetectionQuery
+from repro.core.result_store import (
+    clear_shared_result_stores,
+    shared_result_store_names,
+)
+from repro.core.session import AuditSession
+from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+from repro.exceptions import QueryTimeoutError
+from repro.ranking.base import PrecomputedRanker
+from repro.service import (
+    AdmissionConfig,
+    AuditService,
+    ServiceFaultPlan,
+    ServiceOverloadedError,
+)
+
+CHAOS_ROUNDS = int(
+    os.environ.get(
+        "REPRO_SERVICE_CHAOS_ROUNDS", os.environ.get("REPRO_CHAOS_ROUNDS", "2")
+    )
+)
+
+TENANTS = ("alice", "bob", "carol")
+
+
+def _instance(seed: int, n_rows: int):
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(-1.5, 1.5, size=2).tolist()
+    spec = SyntheticSpec(
+        n_rows=n_rows,
+        cardinalities=[2, 3],
+        score_weights=weights,
+        noise=0.4,
+        seed=seed,
+    )
+    dataset = synthetic_dataset(spec)
+    ranking = PrecomputedRanker(score_column="score").rank(dataset)
+    return dataset, ranking
+
+
+@pytest.fixture(autouse=True)
+def _clean_store_registry():
+    clear_shared_result_stores()
+    yield
+    clear_shared_result_stores()
+
+
+class TestServiceChaos:
+    @pytest.mark.parametrize("round_index", range(CHAOS_ROUNDS))
+    def test_chaos_round_completed_responses_match_serial_oracle(self, round_index):
+        seed = 700 + 31 * round_index
+        rng = np.random.default_rng(seed)
+        k_max = int(rng.integers(20, 32))
+        keys = ("one/r", "two/r")
+        instances = {
+            "one/r": _instance(seed, 48 + int(rng.integers(0, 12))),
+            "two/r": _instance(seed + 7, 48 + int(rng.integers(0, 12))),
+        }
+        storm_queries = [
+            DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, k_max, "iter_td"),
+            DetectionQuery(ProportionalBoundSpec(alpha=0.9), 2, 2, k_max),
+        ]
+        warmup_query = DetectionQuery(
+            GlobalBoundSpec(lower_bounds=2.0), 2, 2, k_max, "global_bounds"
+        )
+        # A query no other request issues: the doomed request can never be
+        # answered instantly from the shared store, so its ~0 deadline trips.
+        doomed_query = DetectionQuery(GlobalBoundSpec(lower_bounds=3.0), 3, 2, k_max)
+        oracle = {}
+        for key, (dataset, ranking) in instances.items():
+            with AuditSession(dataset, ranking) as session:
+                reports = session.run_many(
+                    [warmup_query] + storm_queries + [doomed_query]
+                )
+            oracle[key] = [report.result for report in reports]
+
+        # Worker kills are pinned to each session's first executor (generation 0,
+        # incarnation 0) but not to a worker index: whichever worker receives a
+        # first task dies, so the fault fires however the sweep happens to
+        # shard.  Respawned workers (incarnation 1) are untouched.
+        plan = ServiceFaultPlan(
+            worker_faults=FaultPlan(actions=(FaultAction(KILL, worker=None, at_task=1),)),
+            # Ordinals are counted across the whole service lifetime; phase 1
+            # consumes 1..2, so these target the concurrent storm.
+            force_shed_requests=(4,),
+            slow_requests=((5, 0.25),),
+        )
+        execution = ExecutionConfig(
+            workers=2,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=5.0,
+            shard_timeout=2.0,
+            retry_backoff=0.01,
+            max_worker_restarts=4,
+        )
+        service = AuditService(
+            execution=execution,
+            admission=AdmissionConfig(
+                max_concurrent_per_tenant=1, max_queue_per_tenant=4
+            ),
+            dispatchers=2,
+            fault_plan=plan,
+        )
+        try:
+            for key, (dataset, ranking) in instances.items():
+                name = key.split("/")[0]
+                service.register_dataset(name, dataset)
+                service.register_ranking(name, "r", ranking)
+
+            # -- phase 1: worker kill inside each pooled session ----------------
+            for key in keys:
+                reports = service.run(TENANTS[0], key, warmup_query, deadline=120.0)
+                assert reports[0].result == oracle[key][0]
+                # Every worker that received a task died once and was respawned.
+                assert 1 <= reports[0].stats.worker_restarts <= execution.workers
+
+            # -- phase 2: concurrent storm --------------------------------------
+            outcomes = []
+            outcomes_lock = threading.Lock()
+
+            def tenant_storm(tenant: str, tenant_index: int) -> None:
+                futures = []
+                for request_index in range(2):
+                    key = keys[(tenant_index + request_index) % len(keys)]
+                    try:
+                        futures.append(
+                            (key, service.submit(tenant, key, storm_queries))
+                        )
+                    except ServiceOverloadedError as error:
+                        with outcomes_lock:
+                            outcomes.append(("shed", tenant, key, error))
+                if tenant_index == 0:
+                    key = keys[0]
+                    try:
+                        futures.append(
+                            (key, service.submit(tenant, key, doomed_query,
+                                                 deadline=0.002))
+                        )
+                    except ServiceOverloadedError as error:
+                        with outcomes_lock:
+                            outcomes.append(("shed", tenant, key, error))
+                for key, future in futures:
+                    try:
+                        reports = future.result(timeout=120)
+                    except BaseException as error:
+                        with outcomes_lock:
+                            outcomes.append(("failed", tenant, key, error))
+                    else:
+                        with outcomes_lock:
+                            outcomes.append(("completed", tenant, key, reports))
+
+            threads = [
+                threading.Thread(target=tenant_storm, args=(tenant, index))
+                for index, tenant in enumerate(TENANTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+                assert not thread.is_alive(), "a tenant thread wedged"
+
+            completed = [o for o in outcomes if o[0] == "completed"]
+            sheds = [o for o in outcomes if o[0] == "shed"]
+            failures = [o for o in outcomes if o[0] == "failed"]
+            # Exactly one submit ordinal is force-shed; the queues are sized so
+            # no organic shedding can occur on top of it.
+            assert len(sheds) == 1
+            assert isinstance(sheds[0][3], ServiceOverloadedError)
+            assert sheds[0][3].retry_after > 0
+            # Every other failure must be the doomed request's typed timeout.
+            for _, tenant, key, error in failures:
+                assert isinstance(error, QueryTimeoutError), repr(error)
+            assert len(failures) <= 1
+            # Completed responses are bit-identical to the serial oracle,
+            # whatever interleaving and faults they were served under.  Seven
+            # submits minus the one shed leave six futures; only the doomed
+            # request may fail beyond that.
+            assert len(completed) == 6 - len(failures)
+            for _, tenant, key, reports in completed:
+                if len(reports) == len(storm_queries):
+                    assert [r.result for r in reports] == oracle[key][1:3]
+                else:  # the doomed request squeaked in under its deadline
+                    assert [r.result for r in reports] == [oracle[key][3]]
+        finally:
+            service.shutdown(timeout=120.0)
+
+        # -- epilogue: nothing leaked ------------------------------------------
+        service.pool.assert_all_closed()
+        assert shared_result_store_names() == ()
+        assert service.health()["status"] == "closed"
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
