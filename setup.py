@@ -5,6 +5,18 @@ editable installs (`invalid command 'bdist_wheel'`); keeping a classic ``setup.p
 lets ``pip install -e .`` fall back to the legacy develop-mode code path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.8.0",
+    description="Detection of biased groups in rankings (ICDE'23 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-lint = repro.analysis.__main__:main",
+        ],
+    },
+)

@@ -1,0 +1,20 @@
+"""repro-lint: AST-based invariant checks for the engine/service stack.
+
+Run it as ``python -m repro.analysis src tests`` (or the ``repro-lint``
+console script).  See the "Static analysis" section of the README for the
+rule catalogue and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.driver import LintReport, lint_source, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit status is the CI contract: 0 when every checked file is clean (no
+unsuppressed findings, no unused suppressions, no unparsable files), 1
+otherwise.  ``--json`` switches stdout to the machine-readable report;
+``--output FILE`` writes that JSON to a file regardless of the stdout format,
+which is how the CI job produces its artifact while keeping the human log
+readable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.driver import UNUSED_SUPPRESSION_CODE, LintReport, run_lint
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checks for the repro engine/service stack.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report on stdout instead of the human rendering",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (the CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> None:
+    for rule_class in ALL_RULES:
+        print(f"{rule_class.code}  {rule_class.name:24s} {rule_class.description}")
+    print(
+        f"{UNUSED_SUPPRESSION_CODE}  {'unused-suppression':24s} "
+        "a disable comment matched no finding (driver check, unsuppressible)"
+    )
+
+
+def _render_human(report: LintReport) -> None:
+    for path, reason in report.errors:
+        print(f"{path}: ERROR {reason}")
+    for finding in report.findings:
+        print(finding.render())
+    suppressed = len(report.suppressed)
+    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    print(
+        f"repro-lint: {report.files_checked} file(s) checked, {status}"
+        + (f", {suppressed} suppressed" if suppressed else "")
+        + (f", {len(report.errors)} unparsable" if report.errors else "")
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.list_rules:
+        _list_rules()
+        return 0
+    report = run_lint(list(arguments.paths))
+    payload = report.as_dict()
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if arguments.json:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        _render_human(report)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Finding: one lint diagnostic, pointing at a file and line.
+
+Findings are plain values so the driver can dedupe, sort, and serialise them
+without knowing anything about the rule that produced them.  The JSON shape
+(:meth:`Finding.as_dict`) is the machine surface the CI gate uploads as an
+artifact; :meth:`Finding.render` is the one-line human form
+(``path:line: CODE message``) that editors and terminals know how to jump to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a lint rule.
+
+    The field order doubles as the sort order of a report: findings group by
+    file, then by line, then by rule code — the order a reader fixes them in.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line human rendering (clickable in most editors)."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serialisable representation (the CI artifact's entry shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,281 @@
+"""RL001 — SearchStats completeness across merge, serde, and snapshot paths.
+
+``SearchStats`` is the single aggregation point for every counter the engine
+exposes, and history shows how it drifts: a new counter field is added, the
+reflection-based ``absorb`` picks it up for free — and the hand-written
+``as_dict`` dict literal, the ``stats_from_dict`` float special-case, or the
+engine's snapshot→``publish_stats`` hop silently drops it.  The counter then
+reads zero in persisted sweep results while looking perfectly healthy in unit
+tests that only exercise in-memory objects.
+
+The rule collects four anchors while the driver feeds it files, then compares
+them in :meth:`finalize`:
+
+* the ``SearchStats`` class definition — field names, annotations, and which
+  fields carry a same-line ``# repro-lint: disable=RL001`` exemption;
+* ``SearchStats.absorb`` — must be reflection-based (a ``fields(...)`` call)
+  or name every field;
+* ``SearchStats.as_dict`` and the module-level ``stats_from_dict`` — every
+  field name must appear as a string key, ``as_dict`` must fold in
+  ``self.extra``, and every float-annotated field must be named in
+  ``stats_from_dict``'s type dispatch;
+* ``CountingEngine.snapshot`` and ``publish_stats`` — every key the snapshot
+  emits must be consumed (as a string constant) by ``publish_stats``.
+
+A field that is *deliberately* excluded from a path opts out with the
+suppression on its own definition line; the rule consumes it through
+``source.is_suppressed`` so an exemption that stops matching anything is
+reported as RL005 like any other stale annotation.  Checks only run when both
+sides of a comparison were seen in the run, so linting a single file (or an
+in-memory fixture) never produces spurious "missing function" noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import SourceFile
+
+
+def _string_constants(node: ast.AST) -> set[str]:
+    return {
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+def _calls_fields(node: ast.AST) -> bool:
+    """Whether ``node`` contains a ``fields(...)`` call (dataclass reflection)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name == "fields":
+                return True
+    return False
+
+
+class _Anchor:
+    """One collected definition: the node plus the file it came from."""
+
+    def __init__(self, source: SourceFile, node: ast.AST) -> None:
+        self.source = source
+        self.node = node
+
+
+class StatsCompletenessRule(Rule):
+    code = "RL001"
+    name = "stats-completeness"
+    description = (
+        "every SearchStats counter field must survive absorb, as_dict/"
+        "stats_from_dict, and the snapshot→publish_stats path (or carry an "
+        "explicit RL001 exemption on its definition line)"
+    )
+
+    #: Fields that are bookkeeping rather than counters; ``extra`` is the
+    #: open-ended side table and is checked separately (as_dict must fold it).
+    STRUCTURAL_FIELDS = frozenset({"extra"})
+
+    def __init__(self) -> None:
+        self._stats_class: _Anchor | None = None
+        self._absorb: _Anchor | None = None
+        self._as_dict: _Anchor | None = None
+        self._from_dict: _Anchor | None = None
+        self._snapshot: _Anchor | None = None
+        self._publish: _Anchor | None = None
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return "repro/" in source.module_path and "tests/" not in source.module_path
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "SearchStats":
+                self._stats_class = _Anchor(source, node)
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        if item.name == "absorb":
+                            self._absorb = _Anchor(source, item)
+                        elif item.name == "as_dict":
+                            self._as_dict = _Anchor(source, item)
+            elif isinstance(node, ast.FunctionDef):
+                if node.name == "stats_from_dict":
+                    self._from_dict = _Anchor(source, node)
+                elif node.name == "publish_stats":
+                    self._publish = _Anchor(source, node)
+            elif isinstance(node, ast.ClassDef) and node.name == "CountingEngine":
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef) and item.name == "snapshot":
+                        self._snapshot = _Anchor(source, item)
+        return ()
+
+    # -- field extraction ------------------------------------------------------
+    def _fields(self) -> list[tuple[str, str | None, int]]:
+        """``(name, annotation, line)`` for every SearchStats field."""
+        assert self._stats_class is not None
+        collected: list[tuple[str, str | None, int]] = []
+        for item in self._stats_class.node.body:
+            if not isinstance(item, ast.AnnAssign):
+                continue
+            if not isinstance(item.target, ast.Name):
+                continue
+            annotation = None
+            if isinstance(item.annotation, ast.Name):
+                annotation = item.annotation.id
+            collected.append((item.target.id, annotation, item.lineno))
+        return collected
+
+    def _exempt(self, name: str, line: int) -> bool:
+        """Whether the field opted out on its definition line (consumes RL005 credit)."""
+        assert self._stats_class is not None
+        return self._stats_class.source.is_suppressed(line, self.code)
+
+    # -- finalize: compare the anchors ----------------------------------------
+    def finalize(self) -> Iterator[Finding]:
+        if self._stats_class is None:
+            return
+        fields = [
+            (name, annotation, line)
+            for name, annotation, line in self._fields()
+            if name not in self.STRUCTURAL_FIELDS
+        ]
+        yield from self._check_absorb(fields)
+        yield from self._check_as_dict(fields)
+        yield from self._check_from_dict(fields)
+        yield from self._check_snapshot_path()
+
+    def _check_absorb(
+        self, fields: list[tuple[str, str | None, int]]
+    ) -> Iterator[Finding]:
+        if self._absorb is None:
+            return
+        if _calls_fields(self._absorb.node):
+            return  # reflection-based: new fields merge for free
+        named = _string_constants(self._absorb.node)
+        mentioned = {
+            node.attr
+            for node in ast.walk(self._absorb.node)
+            if isinstance(node, ast.Attribute)
+        }
+        for name, _annotation, line in fields:
+            if name in named or name in mentioned:
+                continue
+            if self._exempt(name, line):
+                continue
+            yield self.finding(
+                self._absorb.source,
+                self._absorb.node.lineno,
+                f"SearchStats.absorb drops field {name!r}: the merge is "
+                "hand-rolled and never references it — use dataclasses."
+                "fields() reflection or add the field explicitly",
+            )
+
+    def _check_as_dict(
+        self, fields: list[tuple[str, str | None, int]]
+    ) -> Iterator[Finding]:
+        if self._as_dict is None:
+            return
+        keys = _string_constants(self._as_dict.node)
+        if _calls_fields(self._as_dict.node):
+            keys = None  # reflective serialisation covers everything
+        for name, _annotation, line in fields:
+            if keys is not None and name not in keys:
+                if self._exempt(name, line):
+                    continue
+                yield self.finding(
+                    self._as_dict.source,
+                    self._as_dict.node.lineno,
+                    f"SearchStats.as_dict omits field {name!r}: the flat dict "
+                    "is what result stores persist, so the counter would read "
+                    "as absent from every saved sweep — add the key",
+                )
+        folds_extra = any(
+            isinstance(node, ast.Attribute)
+            and node.attr == "extra"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            for node in ast.walk(self._as_dict.node)
+        )
+        if not folds_extra:
+            yield self.finding(
+                self._as_dict.source,
+                self._as_dict.node.lineno,
+                "SearchStats.as_dict never reads self.extra: engine-specific "
+                "counters in the side table are silently dropped from "
+                "persisted results — fold the extra dict into the output",
+            )
+
+    def _check_from_dict(
+        self, fields: list[tuple[str, str | None, int]]
+    ) -> Iterator[Finding]:
+        if self._from_dict is None:
+            return
+        if not _calls_fields(self._from_dict.node):
+            yield self.finding(
+                self._from_dict.source,
+                self._from_dict.node.lineno,
+                "stats_from_dict does not iterate dataclasses.fields(): a "
+                "hand-rolled loader will silently zero any field added later "
+                "— rebuild it on reflection",
+            )
+            return
+        named = _string_constants(self._from_dict.node)
+        for name, annotation, line in fields:
+            if annotation != "float":
+                continue
+            if name in named:
+                continue
+            if self._exempt(name, line):
+                continue
+            yield self.finding(
+                self._from_dict.source,
+                self._from_dict.node.lineno,
+                f"stats_from_dict's float dispatch misses {name!r}: the field "
+                "is annotated float in SearchStats but would round-trip "
+                "through int() and truncate — add it to the float name set",
+            )
+
+    def _check_snapshot_path(self) -> Iterator[Finding]:
+        if self._snapshot is None or self._publish is None:
+            return
+        emitted = self._snapshot_keys()
+        consumed = _string_constants(self._publish.node)
+        consumed |= {
+            node.attr
+            for node in ast.walk(self._publish.node)
+            if isinstance(node, ast.Attribute)
+        }
+        for key, line in sorted(emitted.items()):
+            if key in consumed:
+                continue
+            if self._snapshot.source.is_suppressed(line, self.code):
+                continue
+            yield self.finding(
+                self._publish.source,
+                self._publish.node.lineno,
+                f"publish_stats never consumes snapshot key {key!r}: the "
+                "engine counts it but the session's snapshot-delta path "
+                "drops it before it reaches SearchStats — wire the key "
+                "through (or exempt it on the snapshot line)",
+            )
+
+    def _snapshot_keys(self) -> dict[str, int]:
+        """String keys of the dict(s) ``snapshot`` returns, with their lines."""
+        assert self._snapshot is not None
+        keys: dict[str, int] = {}
+        for node in ast.walk(self._snapshot.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            for child in ast.walk(node.value):
+                if isinstance(child, ast.Dict):
+                    for key in child.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys[key.value] = key.lineno
+        return keys

@@ -1,0 +1,211 @@
+"""RL003 — exception taxonomy: no silent swallowing, no untyped raises.
+
+The library's contract (``repro/exceptions.py``) is that every failure a caller
+can see is *typed*: it derives from ``ReproError`` (or the service-layer
+``ServiceError`` hierarchy in ``repro/service/errors.py``), so one ``except``
+clause distinguishes library failures from bugs.  Two code patterns erode that
+contract silently:
+
+1. **Broad handlers that swallow.**  ``except:`` / ``except Exception:`` /
+   ``except BaseException:`` with a body that neither re-raises, nor uses the
+   caught error (forwarding it into a future, a result queue, a log), nor
+   captures its traceback.  Such a handler turns real faults — including the
+   supervisor's torn-pipe and worker-death signals — into silence.  Handlers
+   that *do* route the error somewhere are fine and common in the shutdown
+   paths; the rule checks for exactly that routing.
+
+2. **Untyped raises.**  ``raise SomeName(...)`` where the name is neither a
+   repro exception (imported from a module whose name ends in ``exceptions``
+   or ``errors``, or defined locally with an ``Error`` suffix) nor on the
+   small stdlib whitelist (``ValueError`` for argument validation, ``OSError``
+   for platform signals, ...).  Raising bare ``Exception``/``RuntimeError``
+   leaves callers no choice but the broad handlers rule 1 forbids.
+
+Scope: library code only (paths containing ``repro/`` outside ``tests/``) —
+test code raises and catches freely by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import SourceFile
+
+#: Exception types that are broad by construction.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Stdlib exceptions the taxonomy accepts as-is.  Argument validation raises
+#: ``ValueError``/``TypeError`` like any Python library; lifecycle and platform
+#: signals use their canonical builtins (``OSError``, ``TimeoutError``, ...).
+STDLIB_ALLOWED = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+        "OSError",
+        "PermissionError",
+        "FileNotFoundError",
+        "InterruptedError",
+        "NotImplementedError",
+        "StopIteration",
+        "TimeoutError",
+        "AssertionError",
+        # RuntimeError is deliberately absent: it is the untyped catch-all the
+        # taxonomy exists to replace.
+        "MemoryError",
+        "KeyboardInterrupt",
+        "SystemExit",
+    }
+)
+
+#: Module-name suffixes that mark an import source as a taxonomy module.
+_TAXONOMY_MODULE_SUFFIXES = ("exceptions", "errors")
+
+#: Call names whose presence in a broad handler counts as handling the error.
+_HANDLING_CALLS = {"format_exc", "exc_info", "print_exc", "warn", "exception"}
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a ``Name``/``Attribute`` chain (else ``None``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ExceptionTaxonomyRule(Rule):
+    code = "RL003"
+    name = "exception-taxonomy"
+    description = (
+        "broad except clauses must handle (re-raise, forward, or log) the error, "
+        "and raised exceptions must be typed repro errors or whitelisted builtins"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        path = source.module_path
+        return "repro/" in path and "tests/" not in path
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        allowed = self._allowed_names(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(source, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(source, node, allowed)
+
+    # -- broad handlers -------------------------------------------------------
+    def _check_handler(
+        self, source: SourceFile, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                source,
+                handler.lineno,
+                "bare 'except:' — name the exceptions this handler expects "
+                "(it currently swallows even KeyboardInterrupt and SystemExit)",
+            )
+            return
+        broad = self._broad_types(handler.type)
+        if not broad:
+            return
+        if self._handles_error(handler):
+            return
+        caught = " / ".join(sorted(broad))
+        yield self.finding(
+            source,
+            handler.lineno,
+            f"broad 'except {caught}' swallows the error: the body neither "
+            "re-raises, nor uses the caught exception, nor records its "
+            "traceback — narrow the clause to the exceptions actually "
+            "expected, or forward/log the error",
+        )
+
+    @staticmethod
+    def _broad_types(type_node: ast.expr) -> set[str]:
+        """The broad exception names in a handler's type expression."""
+        candidates: Iterable[ast.expr]
+        if isinstance(type_node, ast.Tuple):
+            candidates = type_node.elts
+        else:
+            candidates = (type_node,)
+        return {
+            node.id
+            for node in candidates
+            if isinstance(node, ast.Name) and node.id in _BROAD_NAMES
+        }
+
+    @staticmethod
+    def _handles_error(handler: ast.ExceptHandler) -> bool:
+        """Whether a broad handler's body routes the error somewhere."""
+        bound = handler.name
+        for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound is not None and isinstance(node, ast.Name) and node.id == bound:
+                return True
+            if isinstance(node, ast.Call):
+                name = _terminal_name(node.func)
+                if name in _HANDLING_CALLS:
+                    return True
+                if name is not None and name.startswith(("log", "warn")):
+                    return True
+        return False
+
+    # -- raise taxonomy -------------------------------------------------------
+    @staticmethod
+    def _allowed_names(tree: ast.AST) -> set[str]:
+        """Exception names this file may raise, beyond the stdlib whitelist.
+
+        * names imported ``from <...>.exceptions import X`` or
+          ``from <...>.errors import X`` — the taxonomy modules are the one
+          sanctioned home of error types;
+        * classes defined in this file whose name ends in ``Error`` — local
+          subclasses extending the taxonomy in place.
+        """
+        allowed: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.module.split(".")[-1].endswith(_TAXONOMY_MODULE_SUFFIXES):
+                    allowed.update(
+                        alias.asname or alias.name for alias in node.names
+                    )
+            elif isinstance(node, ast.ClassDef) and node.name.endswith("Error"):
+                allowed.add(node.name)
+        return allowed
+
+    def _check_raise(
+        self, source: SourceFile, node: ast.Raise, allowed: set[str]
+    ) -> Iterator[Finding]:
+        if node.exc is None:  # bare re-raise inside a handler
+            return
+        target = node.exc
+        if isinstance(target, ast.Call):
+            name = _terminal_name(target.func)
+            if name is None:  # dynamically computed class — out of static reach
+                return
+        elif isinstance(target, ast.Name):
+            # ``raise name`` without a call: only check names that are
+            # statically known to be classes; re-raising a captured error
+            # object (``raise self._error`` / ``raise err``) is fine.
+            name = target.id
+            if name not in STDLIB_ALLOWED and name not in allowed and not name.endswith(("Error", "Exception")):
+                return
+        else:
+            # ``raise self._error`` and friends: forwarding a stored error.
+            return
+        if name in STDLIB_ALLOWED or name in allowed:
+            return
+        yield self.finding(
+            source,
+            node.lineno,
+            f"raise of {name!r} is outside the exception taxonomy: use a typed "
+            "repro error (repro/exceptions.py, repro/service/errors.py, or a "
+            "local *Error subclass) or a whitelisted builtin such as "
+            "ValueError/TypeError/OSError",
+        )

@@ -1,0 +1,211 @@
+"""RL004 — API hygiene: frozen value types, safe defaults, honest exports.
+
+Four small checks that share a theme — the public surface of the package must
+not be quietly mutable or quietly wrong:
+
+a. **Frozen value dataclasses.**  A ``@dataclass`` whose name ends in
+   ``Query``, ``Config``, ``Spec``, ``Handle`` or ``Plan`` is a value object
+   passed across threads and stored in result stores; it must declare
+   ``frozen=True``.  A mutable query that a caller edits after submission is a
+   data race the type system could have prevented.
+
+b. **Mutable default arguments.**  ``def f(x=[])`` / ``={}`` / ``=set()`` and
+   friends share one object across every call — the classic aliasing bug.
+   Use ``None`` plus an in-body default instead.
+
+c. **Guarded platform imports.**  ``import fcntl`` / ``msvcrt`` / ``termios``
+   at module top level makes the whole module unimportable on the other
+   platform.  Such imports must sit inside ``try``/``except ImportError`` (or
+   a platform conditional), as ``result_store.py`` does for its lock support.
+
+d. **``__all__`` matches reality.**  In every ``__init__.py`` that declares
+   ``__all__``, each listed name must actually be bound in the module, and
+   each name imported at top level (that does not start with ``_``) must be
+   listed.  An ``__all__`` that drifts from the imports advertises exports
+   that do not exist — or silently hides ones that do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import SourceFile
+
+#: Name suffixes that mark a dataclass as a cross-thread value object.
+VALUE_SUFFIXES = ("Query", "Config", "Spec", "Handle", "Plan")
+
+#: Imports that only exist on one platform.
+PLATFORM_MODULES = {"fcntl", "msvcrt", "termios", "winreg", "tty", "pty"}
+
+#: Call names that build a fresh-but-shared mutable default.
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator of a class, if any."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    return any(
+        keyword.arg == "frozen"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in decorator.keywords
+    )
+
+
+class ApiHygieneRule(Rule):
+    code = "RL004"
+    name = "api-hygiene"
+    description = (
+        "value dataclasses frozen, no mutable default arguments, platform "
+        "imports guarded, __all__ consistent with actual top-level bindings"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return "repro/" in source.module_path and "tests/" not in source.module_path
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        yield from self._check_value_dataclasses(source)
+        yield from self._check_mutable_defaults(source)
+        yield from self._check_platform_imports(source)
+        if source.module_path.endswith("__init__.py"):
+            yield from self._check_all_exports(source)
+
+    # -- a: frozen value dataclasses ------------------------------------------
+    def _check_value_dataclasses(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(VALUE_SUFFIXES):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None or _is_frozen(decorator):
+                continue
+            yield self.finding(
+                source,
+                node.lineno,
+                f"value dataclass {node.name!r} is not frozen: names ending in "
+                f"{'/'.join(VALUE_SUFFIXES)} are passed across threads and "
+                "stored by the result store — declare @dataclass(frozen=True)",
+            )
+
+    # -- b: mutable default arguments -----------------------------------------
+    def _check_mutable_defaults(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        source,
+                        default.lineno,
+                        f"mutable default argument in {node.name!r}: the object "
+                        "is created once and shared by every call — default to "
+                        "None and build the value in the body",
+                    )
+
+    # -- c: guarded platform imports ------------------------------------------
+    def _check_platform_imports(self, source: SourceFile) -> Iterator[Finding]:
+        # Top-level statements only: an import inside try/except, a function,
+        # or an ``if`` platform conditional is by definition guarded.
+        for node in source.tree.body:
+            modules: list[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                modules = [node.module.split(".")[0]]
+            for module in modules:
+                if module in PLATFORM_MODULES:
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        f"unguarded platform import of {module!r}: this module "
+                        "does not exist everywhere — wrap the import in "
+                        "try/except ImportError and degrade gracefully",
+                    )
+
+    # -- d: __all__ vs. reality -----------------------------------------------
+    def _check_all_exports(self, source: SourceFile) -> Iterator[Finding]:
+        declared: list[str] | None = None
+        declared_line = 0
+        bound: set[str] = set()
+        imported: set[str] = set()
+        for node in source.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__all__":
+                            declared_line = node.lineno
+                            declared = self._string_list(node.value)
+                        else:
+                            bound.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        return  # star imports make the binding set unknowable
+                    name = alias.asname or alias.name.split(".")[0]
+                    bound.add(name)
+                    imported.add(name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+        if declared is None:
+            return
+        for name in declared:
+            if name not in bound:
+                yield self.finding(
+                    source,
+                    declared_line,
+                    f"__all__ lists {name!r} but the module never binds it — "
+                    "the advertised export does not exist",
+                )
+        for name in sorted(imported):
+            if name.startswith("_") or name in declared:
+                continue
+            yield self.finding(
+                source,
+                declared_line,
+                f"top-level import {name!r} is missing from __all__: every "
+                "public re-export of an __init__ module must be listed (or "
+                "renamed with a leading underscore if internal)",
+            )
+
+    @staticmethod
+    def _string_list(node: ast.expr) -> list[str] | None:
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            return None
+        names: list[str] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                return None
+        return names

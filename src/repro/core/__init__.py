@@ -137,4 +137,7 @@ __all__ = [
     "suggest_alpha",
     "suggest_lower_bound",
     "suggest_size_threshold",
+    "Dataset",
+    "Ranker",
+    "Ranking",
 ]

@@ -725,10 +725,13 @@ class ParallelSearchExecutor:
                 yield result_queue.get_nowait()
             except queue_module.Empty:
                 return
-            except Exception:  # pragma: no cover - torn pipe / partial pickle
-                # A worker killed mid-`put` can leave a truncated frame in its
-                # private pipe; nothing after it is trustworthy.  The health
-                # check will see the dead process and rebuild queue + worker.
+            # A worker killed mid-`put` can leave a truncated frame in its
+            # private pipe, and unpickling garbage raises essentially anything
+            # (EOFError, OSError, UnpicklingError, arbitrary __setstate__
+            # errors) — so the clause must stay broad.  Returning is the
+            # handling: nothing after a torn frame is trustworthy, and the
+            # health check will see the dead process and rebuild queue+worker.
+            except Exception:  # repro-lint: disable=RL003 (pragma: no cover)
                 return
 
     def _consume_message(self, index: int, message, pending: dict, state, stats: SearchStats) -> None:

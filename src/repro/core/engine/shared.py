@@ -223,5 +223,9 @@ class SharedDatasetView:
     def __del__(self) -> None:  # pragma: no cover - defensive cleanup
         try:
             self.close()
-        except Exception:
+        except (OSError, BufferError, AttributeError):
+            # close() can race interpreter teardown: the shm handles may be
+            # half-deallocated (AttributeError), the mapping already unlinked
+            # by the owner (OSError), or buffer views still exported
+            # (BufferError).  All three mean "nothing left to release".
             pass

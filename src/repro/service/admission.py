@@ -34,6 +34,11 @@ from repro.service.errors import ServiceOverloadedError
 
 __all__ = ["AdmissionConfig", "AdmissionController", "TenantState"]
 
+#: Lock-discipline registry checked by repro-lint RL002: every write to these
+#: attributes must happen under ``with self.<lock>:`` (or inside a ``*_locked``
+#: helper whose callers hold it).
+_GUARDED_BY = {"_tenants": "_lock"}
+
 RequestT = TypeVar("RequestT")
 
 
@@ -87,7 +92,7 @@ class AdmissionController(Generic[RequestT]):
     def config(self) -> AdmissionConfig:
         return self._config
 
-    def _state(self, tenant: str) -> TenantState[RequestT]:
+    def _state_locked(self, tenant: str) -> TenantState[RequestT]:
         state = self._tenants.get(tenant)
         if state is None:
             state = self._tenants[tenant] = TenantState()
@@ -103,7 +108,7 @@ class AdmissionController(Generic[RequestT]):
         :class:`ServiceOverloadedError` when the queue bounds are exhausted."""
         config = self._config
         with self._lock:
-            state = self._state(tenant)
+            state = self._state_locked(tenant)
             if state.in_flight < config.max_concurrent_per_tenant:
                 state.in_flight += 1
                 state.admitted += 1
@@ -137,7 +142,7 @@ class AdmissionController(Generic[RequestT]):
         when nothing was waiting.
         """
         with self._lock:
-            state = self._state(tenant)
+            state = self._state_locked(tenant)
             if state.in_flight <= 0:
                 raise ValueError(f"release() without a matching admit for {tenant!r}")
             state.completed += 1
@@ -167,13 +172,13 @@ class AdmissionController(Generic[RequestT]):
     def in_flight(self, tenant: str | None = None) -> int:
         with self._lock:
             if tenant is not None:
-                return self._state(tenant).in_flight
+                return self._state_locked(tenant).in_flight
             return sum(state.in_flight for state in self._tenants.values())
 
     def queued(self, tenant: str | None = None) -> int:
         with self._lock:
             if tenant is not None:
-                return len(self._state(tenant).queue)
+                return len(self._state_locked(tenant).queue)
             return self._total_queued_locked()
 
     def tenants(self) -> Iterable[str]:

@@ -39,6 +39,19 @@ from repro.service.errors import ServiceError
 
 __all__ = ["PooledSession", "SessionPool"]
 
+#: Lock-discipline registry checked by repro-lint RL002: every write to these
+#: attributes must happen under ``with self._lock:`` (or inside a ``*_locked``
+#: helper whose callers hold it).  ``PooledSession.lock`` is deliberately NOT
+#: here — it serializes dispatchers against one session, not pool state.
+_GUARDED_BY = {
+    "_entries": "_lock",
+    "_retiring": "_lock",
+    "_closed": "_lock",
+    "sessions_created": "_lock",
+    "sessions_closed": "_lock",
+    "evictions": "_lock",
+}
+
 
 @dataclass
 class PooledSession:

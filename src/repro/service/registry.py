@@ -52,6 +52,14 @@ __all__ = [
     "ranking_key",
 ]
 
+#: Lock-discipline registry checked by repro-lint RL002: every write to these
+#: attributes must happen under ``with self._lock:``.
+_GUARDED_BY = {
+    "_datasets": "_lock",
+    "reregistrations": "_lock",
+    "replacements": "_lock",
+}
+
 #: Separator of the ``"dataset/ranking"`` composite key.
 KEY_SEPARATOR = "/"
 

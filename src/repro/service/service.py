@@ -84,6 +84,22 @@ from repro.service.registry import (
 
 __all__ = ["AuditFuture", "AuditService"]
 
+#: Lock-discipline registry checked by repro-lint RL002.  The service guards
+#: its bookkeeping with ``self._lock``; ``self._idle`` is a ``Condition`` built
+#: over the *same* lock, so holding either ``with`` block satisfies the
+#: invariant — hence the tuples.
+_GUARDED_BY = {
+    "_pending": ("_lock", "_idle"),
+    "_submitted": ("_lock", "_idle"),
+    "_completed": ("_lock", "_idle"),
+    "_failed": ("_lock", "_idle"),
+    "_injected_sheds": ("_lock", "_idle"),
+    "_injected_slowdowns": ("_lock", "_idle"),
+    "_stats": ("_lock", "_idle"),
+    "_closing": ("_lock", "_idle"),
+    "_shutdown_complete": ("_lock", "_idle"),
+}
+
 
 class AuditFuture:
     """The pending result of one submitted request (a minimal thread-safe future).
