@@ -18,6 +18,7 @@ from benchmarks.bench_engine_throughput import run_benchmarks
 from benchmarks.check_regression import (
     DEFAULT_BASELINE,
     check_regression,
+    check_scaling,
     load_artifact,
 )
 
@@ -59,6 +60,70 @@ class TestCheckRegressionLogic:
         problems = check_regression(current, self.BASELINE)
         assert any("k-sweep target" in problem for problem in problems)
 
+    def test_compiled_gate_skipped_without_numba(self):
+        current = copy.deepcopy(self.BASELINE)
+        current["summary"]["numba_available"] = False
+        current["summary"]["compiled_kernel_min_speedup"] = None
+        assert check_regression(current, self.BASELINE) == []
+
+    def test_compiled_gate_binds_with_numba(self):
+        current = copy.deepcopy(self.BASELINE)
+        current["summary"]["numba_available"] = True
+        current["summary"]["compiled_kernel_min_speedup"] = 1.1
+        problems = check_regression(current, self.BASELINE)
+        assert any("compiled kernels too slow" in problem for problem in problems)
+        current["summary"]["compiled_kernel_min_speedup"] = 2.0
+        assert check_regression(current, self.BASELINE) == []
+
+
+class TestCheckScalingLogic:
+    def _artifact(self, **thread_overrides):
+        thread_entry = {
+            "n_rows": 10_000, "n_attributes": 5, "workers": 2, "backend": "thread",
+            "cpu_ratio": 1.05, "shm_publishes": 0, "pool_spawns": 0,
+            "thread_pool_spawns": 1,
+        }
+        thread_entry.update(thread_overrides)
+        return {
+            "schema_version": 2,
+            "entries": [
+                {"n_rows": 10_000, "n_attributes": 5, "workers": 1,
+                 "backend": "serial", "cpu_ratio": 1.0, "shm_publishes": 0,
+                 "pool_spawns": 0, "thread_pool_spawns": 0},
+                thread_entry,
+            ],
+            "summary": {
+                "thread_backend": {
+                    "entries": 1,
+                    "zero_ipc": thread_entry["shm_publishes"] == 0
+                    and thread_entry["pool_spawns"] == 0,
+                    "cpu_ratio_max": thread_entry["cpu_ratio"],
+                    "cpu_parity_tolerance": 0.35,
+                    "cpu_parity_ok": thread_entry["cpu_ratio"] <= 1.35,
+                }
+            },
+        }
+
+    def test_clean_artifact_passes(self):
+        assert check_scaling(self._artifact()) == []
+
+    def test_missing_thread_entries_fail(self):
+        artifact = self._artifact()
+        artifact["entries"] = [e for e in artifact["entries"] if e["backend"] != "thread"]
+        assert check_scaling(artifact) == ["scaling artifact has no thread-backend entries"]
+
+    def test_ipc_leak_fails(self):
+        problems = check_scaling(self._artifact(shm_publishes=1))
+        assert any("published shared memory" in problem for problem in problems)
+
+    def test_serial_fallback_fails(self):
+        problems = check_scaling(self._artifact(thread_pool_spawns=0))
+        assert any("fell back to the serial path" in problem for problem in problems)
+
+    def test_cpu_parity_violation_fails(self):
+        problems = check_scaling(self._artifact(cpu_ratio=2.0))
+        assert any("not at parity" in problem for problem in problems)
+
 
 @pytest.mark.bench_smoke
 class TestEngineSmoke:
@@ -68,13 +133,25 @@ class TestEngineSmoke:
         return run_benchmarks(scale=0.2, n_attributes=6, synthetic_rows=2500, repeats=2)
 
     def test_artifact_shape(self, artifact):
-        assert artifact["schema_version"] == 1
+        from repro.core.engine.kernels import NUMBA_AVAILABLE
+
+        assert artifact["schema_version"] == 2
         assert len(artifact["workloads"]) == 8
+        assert artifact["summary"]["numba_available"] == NUMBA_AVAILABLE
         for entry in artifact["workloads"]:
             assert entry["naive_seconds"] > 0 and entry["engine_seconds"] > 0
             assert entry["speedup"] == pytest.approx(
                 entry["naive_seconds"] / entry["engine_seconds"]
             )
+            # The compiled dimension is present on numba machines, null otherwise.
+            if NUMBA_AVAILABLE:
+                assert entry["compiled_seconds"] > 0
+                assert entry["compiled_speedup"] == pytest.approx(
+                    entry["engine_seconds"] / entry["compiled_seconds"]
+                )
+            else:
+                assert entry["compiled_seconds"] is None
+                assert entry["compiled_speedup"] is None
 
     def test_k_sweep_fast_path_beats_naive(self, artifact):
         """Even at smoke scale the engine must clearly beat the per-pattern path."""

@@ -35,6 +35,14 @@ from __future__ import annotations
 from repro.core.engine.blocks import BlockEntry, EngineBlock, MaterializedBlock
 from repro.core.engine.cache import LRUCache
 from repro.core.engine.counting import DEFAULT_CACHE_CAPACITY, CountingEngine
+from repro.core.engine.kernels import (
+    NUMBA_AVAILABLE,
+    CompiledKernels,
+    NumpyKernels,
+    available_kernels,
+    get_kernels,
+    resolve_kernel,
+)
 from repro.core.engine.masks import (
     DEFAULT_SPARSE_THRESHOLD,
     DenseMatch,
@@ -50,14 +58,20 @@ from repro.core.engine.shared import (
 from repro.core.engine.sharding import estimate_subtree_weight, partition_weighted
 from repro.core.engine.tree import SearchTree
 
-# parallel must come after the submodules above: it imports
-# repro.core.top_down, which re-enters this (then partially initialised)
-# package through repro.core.pattern_graph's engine imports — those resolve
-# because they target already-imported submodules directly.
+# parallel (and threads, which builds on it) must come after the submodules
+# above: they import repro.core.top_down, which re-enters this (then partially
+# initialised) package through repro.core.pattern_graph's engine imports —
+# those resolve because they target already-imported submodules directly.
 from repro.core.engine.parallel import (
     ExecutionConfig,
     ParallelSearchExecutor,
     create_parallel_executor,
+)
+from repro.core.engine.threads import (
+    THREAD_BACKEND_MAX_BYTES,
+    ThreadedSearchExecutor,
+    create_search_executor,
+    resolve_backend,
 )
 
 
@@ -80,6 +94,16 @@ __all__ = [
     "ExecutionConfig",
     "ParallelSearchExecutor",
     "create_parallel_executor",
+    "ThreadedSearchExecutor",
+    "create_search_executor",
+    "resolve_backend",
+    "THREAD_BACKEND_MAX_BYTES",
+    "NUMBA_AVAILABLE",
+    "NumpyKernels",
+    "CompiledKernels",
+    "available_kernels",
+    "get_kernels",
+    "resolve_kernel",
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_SPARSE_THRESHOLD",
 ]

@@ -4,8 +4,10 @@
 fixed dataset and ranking.  It differs from a per-pattern mask cache in three ways:
 
 * **Sibling-batch evaluation** — :meth:`child_block` evaluates all children of one
-  attribute with a single ``np.bincount`` over the parent's matched column slice,
-  producing sizes and top-k counts for the whole sibling block at once.
+  attribute with one fused counting-kernel pass over the parent's matched column
+  slice (:mod:`repro.core.engine.kernels` — numba-compiled when available, pure
+  numpy otherwise), producing sizes and top-k counts for the whole sibling block
+  at once.
 * **Prefix-count representation** — cached matches store sorted rank positions (or
   a cumulative-count prefix for dense matches), so ``top_k_count(p, k)`` for *any*
   ``k`` is one ``np.searchsorted`` / array lookup; a k-sweep re-reads cached blocks
@@ -25,6 +27,7 @@ import numpy as np
 
 from repro.core.engine.blocks import BlockEntry, EngineBlock
 from repro.core.engine.cache import LRUCache
+from repro.core.engine.kernels import get_kernels
 from repro.core.engine.masks import (
     DEFAULT_SPARSE_THRESHOLD,
     POSITION_DTYPE,
@@ -55,9 +58,13 @@ class CountingEngine:
         max_cached_blocks: int | None = None,
         sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD,
         ranked_codes: np.ndarray | None = None,
+        kernel: str = "auto",
     ) -> None:
         if ranking.dataset is not dataset and ranking.dataset != dataset:
             raise ValueError("the ranking was computed over a different dataset")
+        # Resolve the counting-kernel implementation up front so an invalid or
+        # unsatisfiable request fails here, not deep inside the first search.
+        self._kernels = get_kernels(kernel)
         self._dataset = dataset
         self._ranking = ranking
         self._schema = dataset.schema
@@ -126,6 +133,11 @@ class CountingEngine:
         return self._sparse_threshold
 
     @property
+    def kernel_name(self) -> str:
+        """The counting-kernel implementation in use (``"numpy"`` or ``"compiled"``)."""
+        return self._kernels.name
+
+    @property
     def ranked_codes(self) -> np.ndarray:
         """The dataset's codes matrix in rank order (column-major ``int32``).
 
@@ -153,7 +165,7 @@ class CountingEngine:
             parent_match = self.match(parent)
             rows = parent_match.positions()
             column = self._ranked_codes[:, column_index]
-            positions = rows[column[rows] == code]
+            positions = self._kernels.select_positions(column, rows, code)
         return self._remember(pattern, parent, positions)
 
     def _remember(
@@ -226,10 +238,12 @@ class CountingEngine:
     def child_block(self, parent: Pattern, attribute_index: int, k: int) -> EngineBlock:
         """Evaluate all children ``parent ∧ (A = v)`` of one attribute in one batch.
 
-        On a cache miss the block is built with one column gather and one
-        ``np.bincount`` for sizes; the (rows, codes) pair is cached so later sweeps
-        at different ``k`` re-count the whole block with a single binary search
-        plus one ``np.bincount`` over at most ``k`` codes.
+        On a cache miss the block is built by one fused kernel pass over the
+        parent's sorted rank positions (:mod:`repro.core.engine.kernels`): the
+        gathered child codes, the size histogram and the top-k histogram come out
+        of a single traversal — ``rows`` is sorted, so "inside the top-k prefix"
+        is just ``rows[i] < k``.  The (rows, codes) pair is cached so later sweeps
+        at different ``k`` re-count the whole block with one prefix pass.
         """
         key = (parent, attribute_index)
         cached = self._blocks.get(key)
@@ -239,14 +253,10 @@ class CountingEngine:
         attribute = self._schema.attributes[attribute_index]
         parent_match = self.match(parent)
         rows = parent_match.positions()
-        column = self._ranked_codes[:, attribute_index][rows]
-        cardinality = attribute.cardinality
-        sizes = np.bincount(column, minlength=cardinality)
-        # ``rows`` is sorted, so its first ``limit`` entries are exactly the
-        # parent's matches inside the top-k prefix.
-        limit = parent_match.top_k_count(k)
-        counts = np.bincount(column[:limit], minlength=cardinality)
-        entry = BlockEntry(parent, attribute, rows, column, sizes)
+        column, sizes, counts = self._kernels.evaluate_block(
+            self._ranked_codes[:, attribute_index], rows, k, attribute.cardinality
+        )
+        entry = BlockEntry(parent, attribute, rows, column, sizes, self._kernels)
         self._blocks.put(key, entry)
         self.batch_evaluations += 1
         return EngineBlock(entry, k, counts)

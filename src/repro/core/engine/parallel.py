@@ -80,14 +80,23 @@ from repro.core.engine.faults import (
     FaultInjector,
     FaultPlan,
 )
+from repro.core.engine.kernels import KERNEL_CHOICES
 from repro.core.engine.masks import DEFAULT_SPARSE_THRESHOLD
 from repro.core.engine.shared import SharedDatasetHandle, SharedDatasetView, shared_memory_available
 from repro.core.engine.sharding import estimate_subtree_weight, partition_weighted
 from repro.core.pattern import EMPTY_PATTERN, Pattern
 from repro.core.stats import SearchStats
-from repro.exceptions import DetectionError, ExecutorBrokenError, QueryTimeoutError
+from repro.exceptions import (
+    ConfigurationError,
+    DetectionError,
+    ExecutorBrokenError,
+    QueryTimeoutError,
+)
 
 _START_METHODS = (None, "fork", "spawn", "forkserver")
+
+#: Valid values of :attr:`ExecutionConfig.backend`.
+BACKEND_CHOICES = ("auto", "process", "thread")
 
 
 @dataclass(frozen=True)
@@ -97,10 +106,30 @@ class ExecutionConfig:
     Attributes
     ----------
     workers:
-        Number of search processes.  ``1`` (the default) runs fully in-process
-        with zero parallel overhead; ``0`` means "one per available CPU".  Values
-        above 1 enable the sharded parallel executor (falling back to serial when
-        the platform lacks shared memory).
+        Number of search workers.  ``1`` (the default) runs fully in-process
+        with zero parallel overhead; ``0`` means "one per available CPU" —
+        resolved via ``len(os.sched_getaffinity(0))`` where the platform
+        provides it (so a container or cgroup CPU mask is respected) and
+        ``os.cpu_count()`` otherwise.  Values above 1 enable a sharded parallel
+        executor (falling back to serial when the chosen backend is
+        unavailable).
+    kernel:
+        Counting-kernel implementation for every engine the configuration
+        builds (coordinator and shard workers alike): ``"auto"`` (default)
+        picks the numba-compiled fused kernels when numba is importable and the
+        pure-numpy fallback otherwise (the ``REPRO_FORCE_KERNEL`` environment
+        variable overrides the auto choice); ``"numpy"`` / ``"compiled"`` pin
+        an implementation — an unsatisfiable pin raises
+        :class:`~repro.exceptions.ConfigurationError` at engine construction.
+    backend:
+        Sharded-search backend for ``workers > 1``: ``"process"`` (default) is
+        the shared-memory worker pool of this module; ``"thread"`` runs shards
+        on a :class:`~repro.core.engine.threads.ThreadedSearchExecutor` —
+        same LPT sharding and state merge, but over the *same* engine arrays
+        with no shm publish, pool spawn or pickling; ``"auto"`` picks threads
+        for datasets below the shared-memory payoff threshold
+        (:data:`~repro.core.engine.threads.THREAD_BACKEND_MAX_BYTES`) and
+        processes above it.
     match_cache_capacity:
         Maximum number of cached pattern matches in each counting engine
         (default :data:`~repro.core.engine.counting.DEFAULT_CACHE_CAPACITY`,
@@ -152,6 +181,8 @@ class ExecutionConfig:
     """
 
     workers: int = 1
+    kernel: str = "auto"
+    backend: str = "process"
     match_cache_capacity: int = DEFAULT_CACHE_CAPACITY
     block_cache_capacity: int | None = None
     sparse_threshold: float = DEFAULT_SPARSE_THRESHOLD
@@ -168,6 +199,14 @@ class ExecutionConfig:
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise DetectionError("workers must be >= 1, or 0 for one per CPU")
+        if self.kernel not in KERNEL_CHOICES:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}: expected one of {KERNEL_CHOICES}"
+            )
+        if self.backend not in BACKEND_CHOICES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}: expected one of {BACKEND_CHOICES}"
+            )
         if self.match_cache_capacity < 0:
             raise DetectionError("match_cache_capacity must be non-negative")
         if self.block_cache_capacity is not None and self.block_cache_capacity < 0:
@@ -194,9 +233,21 @@ class ExecutionConfig:
             raise DetectionError("breaker_cooldown must be non-negative")
 
     def resolved_workers(self) -> int:
-        """The effective worker count (``0`` resolves to the CPU count)."""
+        """The effective worker count (``0`` resolves to the available CPUs).
+
+        "Available" honours the scheduler's CPU affinity mask where the
+        platform exposes it (``len(os.sched_getaffinity(0))`` — the honest
+        number inside containers and cgroup CPU quotas), falling back to
+        ``os.cpu_count()`` elsewhere.
+        """
         if self.workers >= 1:
             return self.workers
+        affinity = getattr(os, "sched_getaffinity", None)
+        if affinity is not None:
+            try:
+                return max(1, len(affinity(0)))
+            except OSError:  # pragma: no cover - platform without a readable mask
+                pass
         return max(1, os.cpu_count() or 1)
 
     def resolved_start_method(self) -> str:
@@ -211,6 +262,7 @@ class ExecutionConfig:
             "max_cached_masks": self.match_cache_capacity,
             "max_cached_blocks": self.block_cache_capacity,
             "sparse_threshold": self.sparse_threshold,
+            "kernel": self.kernel,
         }
 
 
@@ -387,6 +439,10 @@ class ParallelSearchExecutor:
     executor and fall back to the serial in-process path.  ``close()`` is
     idempotent and the executor is a context manager.
     """
+
+    #: Backend discriminator consumed by the session's lifecycle accounting
+    #: (``shm_publishes``/``pool_spawns`` vs ``thread_pool_spawns``).
+    backend = "process"
 
     #: Seconds between supervision rounds (queue drains + health checks) while
     #: waiting on shard results.

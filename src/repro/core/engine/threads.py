@@ -1,0 +1,372 @@
+"""Thread-parallel sharded execution of the top-down lattice search.
+
+The process pool (:mod:`repro.core.engine.parallel`) pays a fixed toll before
+the first shard runs: a shared-memory publication, one process spawn per
+worker, and pickle/IPC on every shard result.  On large datasets that toll
+amortizes; on small-to-medium lattices it never does, which is why
+``workers > 1`` historically lost there.  This module provides the same
+sharded search with the toll removed:
+
+* the **same decomposition** — the coordinator classifies the root level with
+  one :func:`~repro.core.top_down.expand_parent` pass, the tau_s-surviving
+  roots are balanced by :mod:`~repro.core.engine.sharding`'s LPT partition
+  (cached per ``tau_s``, exactly like the process executor), shard states are
+  unioned with :meth:`~repro.core.top_down.SearchState.merge`, and most-general
+  minimality is computed after the merge — so results are bit-identical to the
+  serial loop by the same argument as the process pool's;
+* **zero IPC** — shards run on a :class:`concurrent.futures.ThreadPoolExecutor`
+  against per-shard :class:`~repro.core.pattern_graph.PatternCounter` views
+  built over the *same* rank-ordered codes matrix (passed by reference through
+  the ``ranked_codes`` constructor argument — no copy, no shm segment, no
+  pickling of bounds or states).  Each shard index owns a dedicated counter,
+  and one search dispatches at most one task per shard index, so every
+  engine's caches are confined to a single thread at a time — no cache locking
+  — while staying warm across the k-sweep (shard affinity by construction);
+* **cooperative deadlines** — ``ExecutionConfig.query_deadline`` is honoured at
+  block boundaries: every shard checks the deadline (and a shared cancel
+  event) between ``expand_parent`` calls, so an over-budget query aborts all
+  shards within one block expansion and raises
+  :class:`~repro.exceptions.QueryTimeoutError` with partial stats, leaving the
+  executor healthy.
+
+With the numba kernels (:mod:`repro.core.engine.kernels`) active, the fused
+counting passes run ``nogil``, so shards genuinely count in parallel; under
+the pure-numpy fallback the backend still wins over processes on small data
+because its overhead is a few thread wakeups instead of spawn + publish.
+
+Threads cannot die the way processes do, so there is no supervisor, no
+heartbeats, no restart budget and no broken state: a shard that raises
+surfaces its error as a typed :class:`~repro.exceptions.DetectionError`
+(deterministic failures are surfaced, not retried — same policy as the
+process pool).  ``ExecutionConfig.fault_plan`` targets process workers and is
+inert here.
+
+Lock discipline: the executor's lifecycle flag and the per-``tau_s``
+assignment cache are the only cross-thread mutable state; both are declared in
+``_GUARDED_BY`` below and machine-checked by repro-lint RL002 (the rule's
+scope includes this module).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.core.engine.parallel import ExecutionConfig, create_parallel_executor
+from repro.core.engine.sharding import estimate_subtree_weight, partition_weighted
+from repro.core.pattern import EMPTY_PATTERN, Pattern
+from repro.core.stats import SearchStats
+from repro.exceptions import DetectionError, QueryTimeoutError, ReproError
+
+__all__ = [
+    "THREAD_BACKEND_MAX_BYTES",
+    "ThreadedSearchExecutor",
+    "resolve_backend",
+    "create_search_executor",
+]
+
+#: ``backend="auto"`` threshold: datasets whose rank-ordered codes matrix is
+#: smaller than this many bytes shard over threads (spawn + shm publish would
+#: dominate); larger datasets keep the process pool, whose per-worker address
+#: spaces avoid allocator and cache-line contention at scale.
+THREAD_BACKEND_MAX_BYTES = 32 * 1024 * 1024
+
+#: Seconds between coordinator wake-ups while shard futures are outstanding
+#: (each wake-up re-checks the query deadline).
+_POLL_SECONDS = 0.05
+
+#: repro-lint RL002: attributes that may only be written under their lock.
+_GUARDED_BY = {
+    "_closed": "_lock",
+    "_assignments": "_lock",
+}
+
+
+class _ShardAbortedError(ReproError):
+    """Internal: a shard observed the cancel event and unwound early."""
+
+
+class ThreadedSearchExecutor:
+    """Fans top-down searches out over cache-affine per-shard engine views.
+
+    The public surface mirrors :class:`~repro.core.engine.parallel.\
+ParallelSearchExecutor` — ``search()``, ``close()``, ``healthy``, ``closed``,
+    ``workers``, context manager — so the session routes queries through either
+    backend with the same code.  Construction is cheap (no spawn, no shm): the
+    pool threads are created lazily by the first search and the per-shard
+    counters attach to the coordinating engine's ``ranked_codes`` by reference.
+    """
+
+    backend = "thread"
+
+    #: Shard assignments are cached per tau_s (cross-query root affinity);
+    #: beyond this many distinct tau_s values the cache resets — a leak guard,
+    #: mirroring the process executor.
+    _MAX_CACHED_ASSIGNMENTS = 64
+
+    def __init__(self, counter, config: ExecutionConfig) -> None:
+        from repro.core.pattern_graph import PatternCounter
+
+        engine = counter.engine
+        self._counter = counter
+        self._config = config
+        self._workers = config.resolved_workers()
+        self._lock = threading.Lock()
+        self._closed = False
+        # Home-shard assignment of the root patterns, keyed by tau_s (root
+        # sizes are k-independent — computed once per executor lifetime).
+        self._assignments: dict[int, dict[Pattern, int]] = {}
+        # One engine view per shard index, all over the *same* codes matrix.
+        # A search dispatches at most one task per shard index, so each view's
+        # caches are touched by exactly one thread at a time (thread-confined
+        # without any locking), yet survive across searches for the k-sweep
+        # fast path.
+        self._shard_counters = [
+            PatternCounter(
+                counter.dataset,
+                counter.ranking,
+                ranked_codes=engine.ranked_codes,
+                **config.counter_options(),
+            )
+            for _ in range(self._workers)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-shard"
+        )
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def healthy(self) -> bool:
+        """Threads cannot die out from under us: healthy unless closed."""
+        return not self._closed
+
+    # -- sharding ----------------------------------------------------------------
+    def _shard_assignment(self, k: int, tau_s: int) -> dict[Pattern, int]:
+        """Home shard of every tau_s-surviving root pattern (stable across k).
+
+        Same LPT partition as the process executor's, over the same
+        k-independent subtree-weight estimates; the cache keeps each root
+        subtree on the same shard counter across every query that shares its
+        ``tau_s``, which is what keeps that counter's block caches warm.
+        """
+        with self._lock:
+            assignment = self._assignments.get(tau_s)
+        if assignment is not None:
+            return assignment
+        counter = self._counter
+        n_attributes = counter.dataset.n_attributes
+        roots: list[Pattern] = []
+        weights: list[int] = []
+        for attribute_index, block in enumerate(counter.child_blocks(EMPTY_PATTERN, k)):
+            for pattern, size, _ in block.entry.survivors_for(tau_s):
+                roots.append(pattern)
+                weights.append(
+                    estimate_subtree_weight(size, attribute_index, n_attributes)
+                )
+        shards = partition_weighted(weights, self._workers)
+        assignment = {}
+        for shard_index, shard in enumerate(shards):
+            for root_index in shard:
+                assignment[roots[root_index]] = shard_index
+        with self._lock:
+            if len(self._assignments) >= self._MAX_CACHED_ASSIGNMENTS:
+                self._assignments.clear()
+            self._assignments[tau_s] = assignment
+        return assignment
+
+    # -- searching ---------------------------------------------------------------
+    def search(
+        self,
+        bound,
+        k: int,
+        tau_s: int,
+        stats: SearchStats | None = None,
+        classification: bool = True,
+        deadline: float | None = None,
+    ):
+        """Run one thread-sharded Algorithm-1 search; bit-identical to serial.
+
+        ``classification`` exists for interface parity with the process
+        executor: shard states never cross a pickle boundary here, so the full
+        classification is returned either way (a superset of what
+        ``classification=False`` promises — ``most_general()`` is unchanged).
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp.  Crossing
+        it sets the shared cancel event; every shard unwinds at its next block
+        boundary and the coordinator raises
+        :class:`~repro.exceptions.QueryTimeoutError` with the partially
+        accumulated ``stats``.  The executor stays healthy afterwards.
+        """
+        from repro.core.top_down import SearchState, constant_lower_bound, expand_parent
+
+        if self._closed:
+            raise DetectionError("the threaded search executor has been closed")
+        stats = stats if stats is not None else SearchStats()
+        stats.full_searches += 1
+        counter = self._counter
+        dataset_size = counter.dataset_size
+        state = SearchState()
+        constant_lower = constant_lower_bound(bound, k, dataset_size)
+        expanded_roots: list[Pattern] = []
+        # Root pass on the coordinator's engine: one sibling block per
+        # attribute, classified into `state` exactly as in the serial loop.
+        expand_parent(
+            counter, bound, k, tau_s, dataset_size, state, stats,
+            EMPTY_PATTERN, constant_lower, expanded_roots.append,
+        )
+        if not expanded_roots:
+            return state
+        assignment = self._shard_assignment(k, tau_s)
+        shard_roots: dict[int, list[Pattern]] = {}
+        for root in expanded_roots:
+            shard_roots.setdefault(assignment[root], []).append(root)
+        stats.bump("parallel_searches")
+        stats.bump("parallel_shards", len(shard_roots))
+        cancel = threading.Event()
+        futures = {
+            self._pool.submit(
+                self._run_shard,
+                self._shard_counters[shard_index],
+                roots, bound, k, tau_s, cancel, deadline,
+            )
+            for shard_index, roots in shard_roots.items()
+        }
+        failure: BaseException | None = None
+        pending = futures
+        try:
+            while pending:
+                done, pending = wait(
+                    pending, timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    try:
+                        shard_state, shard_stats, engine_delta = future.result()
+                    except _ShardAbortedError:
+                        continue
+                    except DetectionError as error:
+                        cancel.set()
+                        failure = error
+                        continue
+                    state.merge(shard_state)
+                    stats.absorb(shard_stats)
+                    for name, value in engine_delta.items():
+                        if value:
+                            stats.bump(f"worker_{name}", value)
+                if failure is None and deadline is not None and time.monotonic() > deadline:
+                    cancel.set()
+                    failure = QueryTimeoutError(
+                        f"query deadline exceeded with {len(pending)} shard(s) "
+                        "still outstanding",
+                        stats=stats,
+                    )
+        finally:
+            if failure is not None:
+                # Cancelled shards unwind at their next block boundary; waiting
+                # for them keeps the shard counters single-threaded for the
+                # next search.
+                wait(pending)
+        if failure is not None:
+            if isinstance(failure, QueryTimeoutError):
+                stats.query_deadline_exceeded += 1
+            raise failure
+        return state
+
+    @staticmethod
+    def _run_shard(counter, roots, bound, k: int, tau_s: int, cancel, deadline):
+        """Drain one shard's subtrees on its dedicated counter (worker-side body).
+
+        The serial loop of :func:`~repro.core.top_down.run_search` with one
+        addition: the cancel event and the deadline are checked at every block
+        boundary (between ``expand_parent`` calls).  A deterministic failure is
+        wrapped in :class:`DetectionError` with the traceback attached — the
+        same surfacing the process pool gives a shard that raises.
+        """
+        from repro.core.top_down import SearchState, constant_lower_bound, expand_parent
+
+        before = counter.stats_snapshot()
+        state = SearchState()
+        shard_stats = SearchStats()
+        dataset_size = counter.dataset_size
+        constant_lower = constant_lower_bound(bound, k, dataset_size)
+        queue: deque[Pattern] = deque(roots)
+        try:
+            while queue:
+                if cancel.is_set():
+                    raise _ShardAbortedError("shard cancelled")
+                if deadline is not None and time.monotonic() > deadline:
+                    cancel.set()
+                    raise _ShardAbortedError("shard deadline exceeded")
+                expand_parent(
+                    counter, bound, k, tau_s, dataset_size, state, shard_stats,
+                    queue.popleft(), constant_lower, queue.append,
+                )
+        except (_ShardAbortedError, DetectionError):
+            raise
+        except Exception as error:  # noqa: BLE001 - re-raised typed, below
+            raise DetectionError(
+                f"parallel search shard failed:\n{traceback.format_exc()}"
+            ) from error
+        after = counter.stats_snapshot()
+        delta = {name: after[name] - before.get(name, 0) for name in after}
+        return state, shard_stats, delta
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool's threads down; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedSearchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def resolve_backend(config: ExecutionConfig, counter) -> str:
+    """The concrete sharding backend (``"process"`` or ``"thread"``) for a counter.
+
+    ``"auto"`` compares the engine's rank-ordered codes matrix against
+    :data:`THREAD_BACKEND_MAX_BYTES`: below the threshold the process pool's
+    spawn/publish toll dominates any search it could speed up, so threads win;
+    at or above it the process pool's isolated address spaces pay off.
+    """
+    if config.backend != "auto":
+        return config.backend
+    engine = getattr(counter, "engine", None)
+    if engine is None:
+        return "process"
+    if engine.ranked_codes.nbytes < THREAD_BACKEND_MAX_BYTES:
+        return "thread"
+    return "process"
+
+
+def create_search_executor(counter, config: ExecutionConfig, generation: int = 0):
+    """Build the sharded executor for ``config.backend``, or ``None`` for serial.
+
+    The single entry point the session uses.  Serial conditions (one worker, a
+    non-engine counter) return ``None`` regardless of backend.  The thread
+    backend has no platform preconditions; the process backend keeps its
+    shared-memory fallbacks (see
+    :func:`~repro.core.engine.parallel.create_parallel_executor`).
+    """
+    if config.resolved_workers() <= 1:
+        return None
+    if getattr(counter, "engine", None) is None:
+        return None
+    if resolve_backend(config, counter) == "thread":
+        return ThreadedSearchExecutor(counter, config)
+    return create_parallel_executor(counter, config, generation=generation)

@@ -77,7 +77,8 @@ import numpy as np
 
 from repro.core.bounds import BoundSpec
 from repro.core.detector import DetectionParameters, DetectionReport, Detector
-from repro.core.engine.parallel import ExecutionConfig, create_parallel_executor
+from repro.core.engine.parallel import ExecutionConfig
+from repro.core.engine.threads import create_search_executor
 from repro.core.pattern_graph import PatternCounter
 from repro.core.planner import (
     DEFAULT_RESULT_CACHE_CAPACITY,
@@ -562,7 +563,7 @@ class AuditSession:
                 # session-wide sums must still account for it.
                 lifecycle = {
                     name: stats.extra[name]
-                    for name in ("shm_publishes", "pool_spawns")
+                    for name in ("shm_publishes", "pool_spawns", "thread_pool_spawns")
                     if name in stats.extra
                 }
                 # The fault counters also survive: the restarts and timeouts
@@ -646,9 +647,11 @@ class AuditSession:
 
         Created lazily on the first query that actually fans searches out
         (``detector.uses_search`` and more than one worker).  The creating query's
-        stats record the lifecycle events (``shm_publishes``, ``pool_spawns``) —
-        summing them over a session's reports counts the publications and spawns
-        the whole session performed, which is how the reuse guarantees are
+        stats record the lifecycle events — ``shm_publishes`` + ``pool_spawns``
+        for the process backend, ``thread_pool_spawns`` for the thread backend
+        (which publishes no shared memory and spawns no processes) — so summing
+        them over a session's reports counts the setup work the whole session
+        performed, which is how the reuse (and zero-IPC) guarantees are
         asserted and benchmarked.
         """
         if not detector.uses_search:
@@ -671,7 +674,7 @@ class AuditSession:
             # Cooldown over — this query is the probe.  Success below closes the
             # breaker; a probe that cannot even build a pool downgrades to the
             # permanent fallback path.
-        executor = create_parallel_executor(
+        executor = create_search_executor(
             self._counter, self._execution, generation=self._executors_created
         )
         if executor is None:
@@ -684,8 +687,11 @@ class AuditSession:
         if self._degraded_until is not None:
             self._degraded_until = None
             stats.executor_recoveries += 1
-        stats.bump("shm_publishes")
-        stats.bump("pool_spawns")
+        if executor.backend == "thread":
+            stats.bump("thread_pool_spawns")
+        else:
+            stats.bump("shm_publishes")
+            stats.bump("pool_spawns")
         self._executor = executor
         return executor
 

@@ -53,6 +53,16 @@ class DetectionError(ReproError):
     """A detection algorithm was invoked with inconsistent parameters."""
 
 
+class ConfigurationError(DetectionError):
+    """An :class:`~repro.core.engine.parallel.ExecutionConfig` field is invalid.
+
+    Raised at configuration time — dataclass ``__post_init__`` or kernel/backend
+    resolution — so an unknown ``kernel`` or ``backend`` string (or a
+    ``kernel="compiled"`` request on a machine without numba) fails fast with a
+    typed error instead of surfacing deep inside the executor.
+    """
+
+
 class ExecutorBrokenError(DetectionError):
     """A parallel search executor exhausted its worker-restart budget.
 

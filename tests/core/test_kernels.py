@@ -1,0 +1,159 @@
+"""Unit tests for the fused counting kernels and their selection logic.
+
+The kernel layer (:mod:`repro.core.engine.kernels`) is the innermost hot loop of
+the engine; these tests pin its contract against hand-computed expectations and
+against a brute-force per-element reference, and lock down the selection rules
+(``kernel="auto"`` resolution, the ``REPRO_FORCE_KERNEL`` override, and the typed
+failure on an impossible ``"compiled"`` request).  Parity between the compiled
+and numpy implementations at engine level lives in ``test_engine_parity.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine.kernels import (
+    FORCE_KERNEL_ENV,
+    NUMBA_AVAILABLE,
+    CompiledKernels,
+    NumpyKernels,
+    available_kernels,
+    get_kernels,
+    resolve_kernel,
+)
+from repro.exceptions import ConfigurationError, DetectionError
+
+
+def _implementations():
+    implementations = [NumpyKernels]
+    if NUMBA_AVAILABLE:
+        implementations.append(CompiledKernels)
+    return implementations
+
+
+def _reference_evaluate(column, rows, k, cardinality):
+    """Per-element oracle: what the fused pass must compute."""
+    codes = [int(column[row]) for row in rows]
+    sizes = [0] * cardinality
+    counts = [0] * cardinality
+    for row, code in zip(rows, codes):
+        sizes[code] += 1
+        if row < k:
+            counts[code] += 1
+    return codes, sizes, counts
+
+
+@pytest.mark.parametrize("kernels", _implementations(), ids=lambda impl: impl.name)
+class TestKernelContract:
+    """Each implementation against hand computation and the brute-force oracle."""
+
+    def test_evaluate_block_hand_computed(self, kernels):
+        # rows are the parent's sorted rank positions; k=4 puts exactly the
+        # first two of them (ranks 0 and 2) inside the top-k prefix.
+        column = np.asarray([1, 0, 2, 1, 0, 2, 2, 1], dtype=np.int32)
+        rows = np.asarray([0, 2, 5, 7], dtype=np.int64)
+        codes, sizes, counts = kernels.evaluate_block(column, rows, 4, 3)
+        assert codes.tolist() == [1, 2, 2, 1]
+        assert sizes.tolist() == [0, 2, 2]
+        assert counts.tolist() == [0, 1, 1]
+
+    def test_evaluate_block_randomized_matches_reference(self, kernels):
+        rng = np.random.default_rng(7)
+        for trial in range(25):
+            n_total = int(rng.integers(1, 60))
+            cardinality = int(rng.integers(1, 6))
+            column = rng.integers(0, cardinality, size=n_total).astype(np.int32)
+            n_rows = int(rng.integers(0, n_total + 1))
+            rows = np.sort(rng.choice(n_total, size=n_rows, replace=False)).astype(np.int64)
+            for k in (0, 1, n_total // 2, n_total - 1, n_total):
+                codes, sizes, counts = kernels.evaluate_block(column, rows, k, cardinality)
+                ref_codes, ref_sizes, ref_counts = _reference_evaluate(
+                    column, rows, k, cardinality
+                )
+                assert codes.tolist() == ref_codes
+                assert sizes.tolist() == ref_sizes
+                assert counts.tolist() == ref_counts
+                recount = kernels.prefix_counts(rows, codes, k, cardinality)
+                assert recount.tolist() == ref_counts
+
+    def test_empty_rows(self, kernels):
+        column = np.asarray([0, 1, 2], dtype=np.int32)
+        rows = np.empty(0, dtype=np.int64)
+        codes, sizes, counts = kernels.evaluate_block(column, rows, 2, 3)
+        assert codes.shape == (0,)
+        assert sizes.tolist() == [0, 0, 0]
+        assert counts.tolist() == [0, 0, 0]
+        assert kernels.prefix_counts(rows, codes, 2, 3).tolist() == [0, 0, 0]
+        assert kernels.child_positions(rows, codes, 0).shape == (0,)
+        assert kernels.select_positions(column, rows, 0).shape == (0,)
+
+    def test_k_at_range_ends(self, kernels):
+        column = np.asarray([0, 1, 0, 1, 0], dtype=np.int32)
+        rows = np.arange(5, dtype=np.int64)
+        _, _, at_zero = kernels.evaluate_block(column, rows, 0, 2)
+        assert at_zero.tolist() == [0, 0]
+        _, sizes, at_n = kernels.evaluate_block(column, rows, 5, 2)
+        assert at_n.tolist() == sizes.tolist() == [3, 2]
+
+    def test_child_and_select_positions(self, kernels):
+        column = np.asarray([2, 0, 2, 1, 2, 0], dtype=np.int32)
+        rows = np.asarray([0, 2, 3, 5], dtype=np.int64)
+        codes = column[rows]
+        assert kernels.child_positions(rows, codes, 2).tolist() == [0, 2]
+        assert kernels.child_positions(rows, codes, 0).tolist() == [5]
+        assert kernels.child_positions(rows, codes, 1).tolist() == [3]
+        # select_positions fuses the gather: same answer without a codes array.
+        for code in (0, 1, 2):
+            assert (
+                kernels.select_positions(column, rows, code).tolist()
+                == kernels.child_positions(rows, codes, code).tolist()
+            )
+
+    def test_positions_preserve_row_dtype(self, kernels):
+        column = np.asarray([0, 1, 0], dtype=np.int32)
+        rows = np.asarray([0, 1, 2], dtype=np.int32)
+        codes = column[rows]
+        assert kernels.child_positions(rows, codes, 0).dtype == rows.dtype
+        assert kernels.select_positions(column, rows, 0).dtype == rows.dtype
+
+
+class TestKernelSelection:
+    def test_available_and_resolution_consistent(self):
+        kernels = available_kernels()
+        assert "numpy" in kernels
+        assert ("compiled" in kernels) == NUMBA_AVAILABLE
+        assert resolve_kernel("numpy") == "numpy"
+        assert get_kernels("numpy") is NumpyKernels
+
+    def test_auto_prefers_compiled_when_available(self, monkeypatch):
+        monkeypatch.delenv(FORCE_KERNEL_ENV, raising=False)
+        expected = "compiled" if NUMBA_AVAILABLE else "numpy"
+        assert resolve_kernel("auto") == expected
+
+    def test_force_env_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(FORCE_KERNEL_ENV, "numpy")
+        assert resolve_kernel("auto") == "numpy"
+        assert get_kernels("auto") is NumpyKernels
+        # The override only applies to "auto": explicit choices win.
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_force_env_invalid_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(FORCE_KERNEL_ENV, "fortran")
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("auto")
+
+    def test_unknown_kernel_rejected_typed(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_kernel("fused")
+        assert isinstance(excinfo.value, DetectionError)
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="needs a numba-free interpreter")
+    def test_explicit_compiled_without_numba_fails_fast(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="numba"):
+            resolve_kernel("compiled")
+        # A forced env override to an unavailable kernel must also fail loudly
+        # rather than silently downgrade.
+        monkeypatch.setenv(FORCE_KERNEL_ENV, "compiled")
+        with pytest.raises(ConfigurationError, match="numba"):
+            resolve_kernel("auto")

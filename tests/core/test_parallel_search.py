@@ -250,11 +250,40 @@ class TestExecutionConfig:
         with pytest.raises(DetectionError):
             ExecutionConfig(start_method="thread")
 
-    def test_workers_zero_resolves_to_cpu_count(self):
+    def test_workers_zero_resolves_to_available_cpus(self):
         import os
 
-        assert ExecutionConfig(workers=0).resolved_workers() == max(1, os.cpu_count() or 1)
+        affinity = getattr(os, "sched_getaffinity", None)
+        expected = (
+            max(1, len(affinity(0))) if affinity is not None else max(1, os.cpu_count() or 1)
+        )
+        assert ExecutionConfig(workers=0).resolved_workers() == expected
         assert ExecutionConfig(workers=3).resolved_workers() == 3
+
+    def test_workers_zero_respects_affinity_mask(self, monkeypatch):
+        """A container CPU mask narrower than cpu_count wins the resolution."""
+        import os
+
+        if getattr(os, "sched_getaffinity", None) is None:
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert ExecutionConfig(workers=0).resolved_workers() == 2
+
+    def test_unknown_kernel_and_backend_rejected_typed(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(kernel="fused")
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(backend="greenlet")
+        # ConfigurationError stays inside the DetectionError taxonomy.
+        with pytest.raises(DetectionError):
+            ExecutionConfig(kernel="fused")
+        # The valid values all construct.
+        for kernel in ("auto", "numpy"):
+            for backend in ("auto", "process", "thread"):
+                assert ExecutionConfig(kernel=kernel, backend=backend).backend == backend
 
     def test_cache_capacity_reaches_engine(self, synthetic_small, synthetic_small_ranking):
         execution = ExecutionConfig(match_cache_capacity=4, block_cache_capacity=4)

@@ -1,0 +1,279 @@
+"""Tests for the thread-sharded search backend (``backend="thread"``).
+
+The contract mirrors the process executor's: bit-identical results for every
+algorithm at ``workers=2`` — including planner-served ``run_many`` batches and
+frontier extension through the session result cache — plus the thread-specific
+guarantees: zero shared-memory publications and zero process spawns (the whole
+point of the backend), ``backend="auto"`` routing by dataset size, cooperative
+``query_deadline`` enforcement that leaves the executor healthy, and the usual
+lifecycle rules (idempotent close, closed executor rejects searches).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec, step_lower_bounds
+from repro.core.engine import parallel as parallel_module
+from repro.core.engine import shared as shared_module
+from repro.core.engine import threads as threads_module
+from repro.core.engine.naive import NaiveCounter
+from repro.core.engine.parallel import ExecutionConfig
+from repro.core.engine.threads import (
+    ThreadedSearchExecutor,
+    create_search_executor,
+    resolve_backend,
+)
+from repro.core.global_bounds import GlobalBoundsDetector
+from repro.core.iter_td import IterTDDetector
+from repro.core.pattern_graph import PatternCounter
+from repro.core.prop_bounds import PropBoundsDetector
+from repro.core.session import AuditSession, DetectionQuery, detect_biased_groups
+from repro.core.stats import SearchStats
+from repro.core.top_down import top_down_search
+from repro.data.synthetic import SyntheticSpec, synthetic_dataset
+from repro.exceptions import DetectionError, QueryTimeoutError
+from repro.ranking.base import PrecomputedRanker
+
+STEP = GlobalBoundSpec(lower_bounds=step_lower_bounds({1: 1.0, 10: 3.0, 30: 6.0}))
+PROP = ProportionalBoundSpec(alpha=0.9)
+
+THREADED = ExecutionConfig(workers=2, backend="thread")
+
+
+def _instance(seed: int, n_rows: int, cardinalities: list[int], skew: float = 1.0):
+    rng = np.random.default_rng(seed)
+    spec = SyntheticSpec(
+        n_rows=n_rows,
+        cardinalities=cardinalities,
+        score_weights=rng.uniform(-1.5, 1.5, size=len(cardinalities)).tolist(),
+        noise=0.4,
+        skew=skew,
+        seed=seed,
+    )
+    dataset = synthetic_dataset(spec)
+    ranking = PrecomputedRanker(score_column="score").rank(dataset)
+    return dataset, ranking
+
+
+# -- backend resolution ---------------------------------------------------------------
+class TestBackendResolution:
+    def test_explicit_backends_pass_through(self):
+        dataset, ranking = _instance(201, 40, [2, 2])
+        counter = PatternCounter(dataset, ranking)
+        assert resolve_backend(ExecutionConfig(backend="thread"), counter) == "thread"
+        assert resolve_backend(ExecutionConfig(backend="process"), counter) == "process"
+
+    def test_auto_picks_threads_below_size_threshold(self, monkeypatch):
+        dataset, ranking = _instance(202, 60, [2, 3])
+        counter = PatternCounter(dataset, ranking)
+        auto = ExecutionConfig(backend="auto")
+        assert counter.engine.ranked_codes.nbytes < threads_module.THREAD_BACKEND_MAX_BYTES
+        assert resolve_backend(auto, counter) == "thread"
+        # Shrink the threshold below this dataset: auto must fall to processes.
+        monkeypatch.setattr(threads_module, "THREAD_BACKEND_MAX_BYTES", 0)
+        assert resolve_backend(auto, counter) == "process"
+
+    def test_auto_on_non_engine_counter_stays_process(self):
+        dataset, ranking = _instance(203, 40, [2, 2])
+        naive = NaiveCounter(dataset, ranking)
+        assert resolve_backend(ExecutionConfig(backend="auto"), naive) == "process"
+
+    def test_create_returns_none_for_serial_conditions(self):
+        dataset, ranking = _instance(204, 40, [2, 2])
+        counter = PatternCounter(dataset, ranking)
+        assert create_search_executor(counter, ExecutionConfig(workers=1, backend="thread")) is None
+        naive = NaiveCounter(dataset, ranking)
+        assert create_search_executor(naive, THREADED) is None
+
+    def test_create_builds_thread_executor(self):
+        dataset, ranking = _instance(205, 40, [2, 2])
+        counter = PatternCounter(dataset, ranking)
+        with create_search_executor(counter, THREADED) as executor:
+            assert isinstance(executor, ThreadedSearchExecutor)
+            assert executor.backend == "thread"
+            assert executor.workers == 2
+        # Auto routes small datasets to the same class.
+        executor = create_search_executor(counter, ExecutionConfig(workers=2, backend="auto"))
+        try:
+            assert isinstance(executor, ThreadedSearchExecutor)
+        finally:
+            executor.close()
+
+
+# -- direct executor parity -----------------------------------------------------------
+class TestThreadedExecutorDirect:
+    def test_full_state_matches_serial(self):
+        dataset, ranking = _instance(211, 70, [2, 3, 2])
+        counter = PatternCounter(dataset, ranking)
+        bound = GlobalBoundSpec(lower_bounds=2.0)
+        reference = top_down_search(counter, bound, 25, 3, SearchStats())
+        with ThreadedSearchExecutor(PatternCounter(dataset, ranking), THREADED) as executor:
+            state = executor.search(bound, 25, 3, SearchStats())
+            assert state.below == reference.below
+            assert state.expanded == reference.expanded
+            assert state.sizes == reference.sizes
+
+    def test_k_sweep_preserves_most_general(self):
+        dataset, ranking = _instance(212, 70, [2, 3, 2])
+        counter = PatternCounter(dataset, ranking)
+        bound = GlobalBoundSpec(lower_bounds=2.0)
+        with ThreadedSearchExecutor(PatternCounter(dataset, ranking), THREADED) as executor:
+            for k in (5, 20, 40):
+                reference = top_down_search(counter, bound, k, 3, SearchStats())
+                minimal = executor.search(bound, k, 3, SearchStats(), classification=False)
+                assert minimal.most_general() == reference.most_general()
+
+    def test_stats_record_sharding_and_worker_engine_work(self):
+        dataset, ranking = _instance(213, 70, [2, 3, 2])
+        stats = SearchStats()
+        with ThreadedSearchExecutor(PatternCounter(dataset, ranking), THREADED) as executor:
+            executor.search(GlobalBoundSpec(lower_bounds=2.0), 25, 2, stats)
+        assert stats.extra.get("parallel_searches") == 1
+        assert stats.extra.get("parallel_shards", 0) >= 1
+        # Shard engines did real counting, surfaced as worker_* deltas.
+        assert any(name.startswith("worker_") for name in stats.extra)
+
+    def test_deadline_raises_timeout_and_executor_stays_healthy(self):
+        dataset, ranking = _instance(214, 80, [2, 3, 2, 2])
+        counter = PatternCounter(dataset, ranking)
+        bound = GlobalBoundSpec(lower_bounds=2.0)
+        with ThreadedSearchExecutor(PatternCounter(dataset, ranking), THREADED) as executor:
+            stats = SearchStats()
+            with pytest.raises(QueryTimeoutError):
+                executor.search(bound, 40, 2, stats, deadline=time.monotonic() - 1.0)
+            assert stats.query_deadline_exceeded == 1
+            assert executor.healthy
+            # The aborted query poisons nothing: the next search is exact.
+            reference = top_down_search(counter, bound, 40, 2, SearchStats())
+            state = executor.search(bound, 40, 2, SearchStats())
+            assert state.below == reference.below
+            assert state.expanded == reference.expanded
+
+    def test_closed_executor_rejects_searches(self):
+        dataset, ranking = _instance(215, 40, [2, 2])
+        executor = ThreadedSearchExecutor(PatternCounter(dataset, ranking), THREADED)
+        executor.close()
+        executor.close()  # idempotent
+        assert executor.closed and not executor.healthy
+        with pytest.raises(DetectionError):
+            executor.search(GlobalBoundSpec(lower_bounds=2.0), 5, 2, SearchStats())
+
+
+# -- detector-level parity ------------------------------------------------------------
+PARITY_INSTANCES = [
+    (221, 64, [2, 3, 2], 0.8),
+    (222, 90, [3, 2, 2, 2], 1.2),
+]
+
+
+@pytest.mark.parametrize("seed,n_rows,cardinalities,skew", PARITY_INSTANCES)
+class TestThreadParity:
+    """backend="thread" must be bit-identical to serial for every detector."""
+
+    def _compare(self, detector_class, bound, dataset, ranking, n_rows):
+        tau_s = max(2, n_rows // 12)
+        serial = detector_class(
+            bound=bound, tau_s=tau_s, k_min=2, k_max=n_rows - 1
+        ).detect(dataset, ranking)
+        threaded = detector_class(
+            bound=bound, tau_s=tau_s, k_min=2, k_max=n_rows - 1, execution=THREADED
+        ).detect(dataset, ranking)
+        assert threaded.result == serial.result
+        # Shards partition the tree; they never re-do or skip work.
+        assert threaded.stats.nodes_evaluated == serial.stats.nodes_evaluated
+        assert threaded.stats.nodes_generated == serial.stats.nodes_generated
+        assert threaded.stats.extra.get("parallel_searches", 0) > 0
+        assert "parallel_fallback" not in threaded.stats.extra
+
+    def test_iter_td(self, seed, n_rows, cardinalities, skew):
+        dataset, ranking = _instance(seed, n_rows, cardinalities, skew)
+        self._compare(IterTDDetector, STEP, dataset, ranking, n_rows)
+
+    def test_global_bounds(self, seed, n_rows, cardinalities, skew):
+        dataset, ranking = _instance(seed, n_rows, cardinalities, skew)
+        self._compare(GlobalBoundsDetector, STEP, dataset, ranking, n_rows)
+
+    def test_prop_bounds(self, seed, n_rows, cardinalities, skew):
+        dataset, ranking = _instance(seed, n_rows, cardinalities, skew)
+        self._compare(PropBoundsDetector, PROP, dataset, ranking, n_rows)
+
+
+# -- session: planner-served batches and frontier extension ---------------------------
+class TestThreadSession:
+    def _queries(self, n_rows: int) -> list[DetectionQuery]:
+        k_max = n_rows - 1
+        return [
+            DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, k_max),
+            DetectionQuery(PROP, 2, 2, k_max),
+            DetectionQuery(STEP, 2, 2, k_max, "iter_td"),
+            DetectionQuery(STEP, 2, 2, k_max, "global_bounds"),
+            DetectionQuery(PROP, 3, 5, k_max, "prop_bounds"),
+            DetectionQuery(STEP, 3, 2, k_max, "iter_td"),
+        ]
+
+    def test_run_many_bit_identical_with_one_pool_and_zero_ipc(self):
+        dataset, ranking = _instance(231, 64, [2, 3, 2], 0.8)
+        queries = self._queries(64)
+        with AuditSession(dataset, ranking) as serial_session:
+            expected = serial_session.run_many(queries)
+        with AuditSession(dataset, ranking, execution=THREADED) as session:
+            reports = session.run_many(queries)
+        assert [report.result for report in reports] == [
+            report.result for report in expected
+        ]
+        totals = SearchStats()
+        for report in reports:
+            totals.absorb(report.stats)
+        # One thread pool for the whole batch; never a process or shm segment.
+        assert totals.extra.get("thread_pool_spawns") == 1
+        assert totals.extra.get("shm_publishes", 0) == 0
+        assert totals.extra.get("pool_spawns", 0) == 0
+
+    def test_thread_backend_never_touches_process_machinery(self, monkeypatch):
+        def forbidden(*args, **kwargs):  # pragma: no cover - failing is the test
+            raise AssertionError("process machinery touched by the thread backend")
+
+        monkeypatch.setattr(shared_module.SharedDatasetView, "publish", forbidden)
+        monkeypatch.setattr(parallel_module.ParallelSearchExecutor, "__init__", forbidden)
+        dataset, ranking = _instance(232, 60, [2, 3])
+        report = IterTDDetector(
+            bound=GlobalBoundSpec(lower_bounds=2.0), tau_s=2, k_min=2, k_max=20,
+            execution=THREADED,
+        ).detect(dataset, ranking)
+        assert report.stats.extra.get("parallel_searches", 0) > 0
+
+    @pytest.mark.parametrize(
+        "algorithm,bound",
+        [("iter_td", STEP), ("global_bounds", STEP), ("prop_bounds", PROP)],
+    )
+    def test_frontier_extension_bit_identical(self, algorithm, bound):
+        dataset, ranking = _instance(233, 64, [2, 3, 2], 0.9)
+        prefix = DetectionQuery(bound, 2, 2, 30, algorithm)
+        overlapping = DetectionQuery(bound, 2, 5, 55, algorithm)
+        with AuditSession(dataset, ranking, execution=THREADED) as session:
+            session.run(prefix)
+            extended = session.run(overlapping)
+        cold = detect_biased_groups(
+            dataset, ranking, bound, 2, 5, 55, algorithm=algorithm
+        )
+        assert extended.result == cold.result
+        assert extended.stats.result_cache_partial_hits == 1
+        assert extended.stats.extended_k_values == 25
+
+    def test_session_deadline_surfaces_timeout_and_recovers(self):
+        dataset, ranking = _instance(234, 80, [2, 3, 2, 2], 1.0)
+        query = DetectionQuery(GlobalBoundSpec(lower_bounds=2.0), 2, 2, 79)
+        with AuditSession(dataset, ranking, execution=THREADED) as session:
+            with pytest.raises(QueryTimeoutError):
+                session.run(query, query_deadline=1e-9)
+            # The session (and its thread pool) keeps serving afterwards.
+            report = session.run(query)
+        cold = detect_biased_groups(
+            dataset, ranking, query.bound, 2, 2, 79,
+            algorithm=query.resolved_algorithm(),
+        )
+        assert report.result == cold.result
