@@ -18,11 +18,13 @@ Three artifacts are guarded:
   zero process spawns, and total CPU within the artifact's recorded parity
   tolerance of the serial baseline.  Wall-clock speedups stay advisory (they
   are core-count-bound).
-* ``BENCH_planner.json`` — records the query planner's per-query-loop vs
-  planner-served comparison.  Its gates are *counters*, not ratios (bit-identical
-  results, strictly fewer root searches and batch evaluations, balanced
-  cache-hit/miss provenance), so they are machine-independent by construction
-  and checked exactly.
+* ``BENCH_planner.json`` (schema 3) — records the query planner's per-query-loop
+  vs planner-served comparison.  Its gates are *counters*, not ratios
+  (bit-identical results, strictly fewer root searches and batch evaluations,
+  balanced cache-hit/miss provenance, threshold tuning anchored on exactly one
+  full run with every other threshold implication-refined, two-sided extension
+  observed on both the prefix and suffix side), so they are machine-independent
+  by construction and checked exactly.
 
 A missing planner or scaling artifact is skipped with a note — the engine-only
 workflow stays usable.
@@ -71,6 +73,17 @@ PLANNER_GATES = (
     "partial_hits_observed",
     "extension_fewer_full_searches",
     "extension_fewer_batch_evaluations",
+    # Implication gates (artifact schema 3): threshold tuning is one anchored
+    # run plus refinements, and two-sided extension covers both directions.
+    "tuning_results_bit_identical",
+    "tuning_implication_hits_observed",
+    "tuning_one_anchor_per_group",
+    "tuning_fewer_full_searches",
+    "tuning_fewer_batch_evaluations",
+    "two_sided_results_bit_identical",
+    "prefix_extension_observed",
+    "suffix_extension_observed",
+    "two_sided_fewer_batch_evaluations",
 )
 
 
@@ -213,6 +226,40 @@ def check_planner(current: dict) -> list[str]:
             f"extension did not strictly beat the covering re-run on batch "
             f"evaluations ({ext_batches!r} vs {rerun_batches!r})"
         )
+    # The implication acceptance counters, re-verified from the raw
+    # threshold-tuning section: implication hits happened, exactly one anchor
+    # per threshold group carried a store miss, and the refinement batch's
+    # engine work stayed strictly below the per-query loop's.
+    tuning = current.get("threshold_tuning") or {}
+    tuning_planned = tuning.get("planned") or {}
+    tuning_cold = tuning.get("per_query") or {}
+    n_thresholds = tuning.get("n_thresholds")
+    hits = tuning_planned.get("implication_hits")
+    if not isinstance(hits, (int, float)) or hits <= 0:
+        problems.append(
+            f"planner threshold-tuning mode observed no implication hits ({hits!r})"
+        )
+    elif isinstance(n_thresholds, int) and (
+        tuning_planned.get("result_cache_misses") != 1
+        or hits != n_thresholds - 1
+    ):
+        problems.append(
+            f"threshold tuning did not anchor exactly one full run per group "
+            f"(misses={tuning_planned.get('result_cache_misses')!r}, "
+            f"implication_hits={hits!r} of {n_thresholds} thresholds)"
+        )
+    for counter in ("full_searches", "batch_evaluations"):
+        refined_work = tuning_planned.get(counter)
+        cold_work = tuning_cold.get(counter)
+        if (
+            not isinstance(refined_work, (int, float))
+            or not isinstance(cold_work, (int, float))
+            or not refined_work < cold_work
+        ):
+            problems.append(
+                f"threshold tuning's refinement work did not stay strictly below "
+                f"the per-query loop on {counter} ({refined_work!r} vs {cold_work!r})"
+            )
     return problems
 
 

@@ -28,6 +28,16 @@ class TestCheckPlannerLogic:
             "extension": {"result_cache_partial_hits": 3, "batch_evaluations": 100},
             "covering_rerun": {"batch_evaluations": 450},
         },
+        "threshold_tuning": {
+            "n_thresholds": 12,
+            "planned": {
+                "implication_hits": 11,
+                "result_cache_misses": 1,
+                "full_searches": 40,
+                "batch_evaluations": 900,
+            },
+            "per_query": {"full_searches": 480, "batch_evaluations": 10800},
+        },
     }
 
     def test_passes_when_all_gates_hold(self):
@@ -66,6 +76,28 @@ class TestCheckPlannerLogic:
         current["partial_overlap"]["extension"]["batch_evaluations"] = 450
         problems = check_planner(current)
         assert any("covering re-run" in problem for problem in problems)
+
+    def test_missing_implication_hits_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["threshold_tuning"]["planned"]["implication_hits"] = 0
+        problems = check_planner(current)
+        assert any("no implication hits" in problem for problem in problems)
+
+    def test_extra_tuning_anchor_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["threshold_tuning"]["planned"]["result_cache_misses"] = 2
+        current["threshold_tuning"]["planned"]["implication_hits"] = 10
+        problems = check_planner(current)
+        assert any("exactly one full run" in problem for problem in problems)
+
+    def test_tuning_work_not_below_loop_reported(self):
+        current = copy.deepcopy(self.ARTIFACT)
+        current["threshold_tuning"]["planned"]["batch_evaluations"] = 10800
+        problems = check_planner(current)
+        assert any(
+            "strictly below the per-query loop on batch_evaluations" in problem
+            for problem in problems
+        )
 
     def test_failed_warm_store_gate_reported(self):
         current = copy.deepcopy(self.ARTIFACT)

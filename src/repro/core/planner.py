@@ -56,10 +56,19 @@ from repro.core.result_store import (  # noqa: F401  (re-exported)
     InMemoryResultStore,
     ResultStore,
     StoreEntry,
+    extension_gain,
     is_extension_base,
     shared_result_store,
 )
 from repro.core.upper_bounds import UpperBoundsDetector
+from repro.exceptions import BoundSpecError
+
+#: Algorithms whose sweeps can serve tighter bounds by refinement: their per-k
+#: below-set evidence is captured by :class:`~repro.core.top_down.SweepAssembler`
+#: and re-partitioned by :func:`~repro.core.top_down.refine_sweep`.  UpperBounds
+#: audits the opposite monotone direction (patterns *above* an upper level), so
+#: its sweeps are reused by containment and extension only.
+REFINABLE_ALGORITHMS = frozenset({"iter_td", "global_bounds", "prop_bounds"})
 
 #: Algorithm names accepted by :class:`DetectionQuery`, mapped to detector classes.
 DETECTOR_CLASSES = {
@@ -225,6 +234,87 @@ def canonical_query_key(query: DetectionQuery) -> tuple:
     return (query_group_key(query), query.k_min, query.k_max)
 
 
+# -- bound implication ---------------------------------------------------------------
+def query_family_key(query: DetectionQuery) -> tuple | None:
+    """The containment-lattice family of a query, or ``None`` when it has none.
+
+    Two queries of the same family ask the same question up to the *level* of
+    the lower bound: same resolved algorithm, same ``tau_s``, and — for global
+    bounds — equal upper levels, for proportional bounds equal ``beta``.
+    Within a family the cached sweeps form a lattice ordered by bound
+    implication (:func:`query_implies`): a weaker member's evidence answers any
+    tighter member by refinement.  Callable schedules have no comparable
+    structure and opt out, as does ``upper_bounds`` (see
+    :data:`REFINABLE_ALGORITHMS`).
+    """
+    algorithm = query.resolved_algorithm()
+    if algorithm not in REFINABLE_ALGORITHMS:
+        return None
+    bound = query.effective_bound()
+    if isinstance(bound, GlobalBoundSpec):
+        if callable(bound.lower_bounds):
+            return None
+        return ("global", _bound_values_key(bound.upper_bounds), query.tau_s, algorithm)
+    if isinstance(bound, ProportionalBoundSpec):
+        return (
+            "proportional",
+            None if bound.beta is None else float(bound.beta),
+            query.tau_s,
+            algorithm,
+        )
+    return None
+
+
+def query_implies(anchor: DetectionQuery, query: DetectionQuery) -> bool:
+    """Whether ``anchor``'s cached classification can be refined into ``query``.
+
+    True when both queries share a family and the anchor's lower bound is
+    pointwise >= the query's over the query's k range — then every pattern below
+    the query's bound is also below the anchor's, so the anchor's per-k
+    below-sets contain (as leaves or as subtree roots) everything the tighter
+    query reports, which is exactly the precondition of
+    :func:`~repro.core.top_down.refine_sweep`.  For proportional bounds the
+    pointwise comparison reduces to ``alpha' <= alpha``.  The check is
+    range-aware but deliberately ignores the anchor's *own* range: whether
+    evidence covers the query's ks is re-validated against the concrete
+    frontier at execution time.
+    """
+    family = query_family_key(anchor)
+    if family is None or family != query_family_key(query):
+        return False
+    anchor_bound = anchor.effective_bound()
+    query_bound = query.effective_bound()
+    if isinstance(anchor_bound, ProportionalBoundSpec):
+        return float(query_bound.alpha) <= float(anchor_bound.alpha)
+    try:
+        return all(
+            query_bound.lower(k, 0, 1) <= anchor_bound.lower(k, 0, 1)
+            for k in range(query.k_min, query.k_max + 1)
+        )
+    except BoundSpecError:
+        # A schedule undefined at some asked k cannot anchor (or be) this query.
+        return False
+
+
+def _query_weakness(query: DetectionQuery) -> float:
+    """A scalar ordering proxy: larger = weaker bound = larger below-sets.
+
+    Used only to order refinements weakest-first (tightest last, for cache
+    affinity) — correctness never depends on it.
+    """
+    bound = query.effective_bound()
+    if isinstance(bound, ProportionalBoundSpec):
+        return float(bound.alpha)
+    try:
+        lowers = [
+            float(bound.lower(k, 0, 1))
+            for k in range(query.k_min, query.k_max + 1)
+        ]
+    except BoundSpecError:
+        return 0.0
+    return sum(lowers) / len(lowers)
+
+
 # -- plans --------------------------------------------------------------------------
 @dataclass(frozen=True)
 class PlanStep:
@@ -253,13 +343,15 @@ class ExtendStep(PlanStep):
     """A plan step served by *extending* a cached sweep instead of re-running it.
 
     Planned when the store's coverage shows a cached sweep of the same group
-    over ``[base_k_min, base_k_max]`` that covers the step's ``k_min`` but ends
-    short of its ``k_max``: the session resumes the cached frontier over the
-    uncovered suffix ``(base_k_max, k_max]`` and stitches the results, instead
-    of re-running the whole covering range.  The base is re-validated at
-    execution time — if it was evicted (or turns out to carry no frontier) the
-    step degrades to a plain covering run, so a stale plan can cost time but
-    never correctness.
+    over ``[base_k_min, base_k_max]`` that overlaps (or suffix-adjoins) the
+    step's range without containing it.  The extension is two-sided: a k
+    *suffix* beyond ``base_k_max`` is computed by resuming the cached frontier,
+    a k *prefix* below ``base_k_min`` by a bounded cold re-run that stops at
+    ``base_k_min - 1`` — per-k independence of every detector's sweep assembly
+    makes both splices bit-identical to a full covering run.  The base is
+    re-validated at execution time — if it was evicted (or turns out to carry
+    no frontier while a suffix is needed) the step degrades to a plain covering
+    run, so a stale plan can cost time but never correctness.
     """
 
     base_k_min: int = 0
@@ -267,8 +359,34 @@ class ExtendStep(PlanStep):
 
     @property
     def suffix_k_values(self) -> int:
-        """How many k values the extension computes (vs a full covering run)."""
-        return self.query.k_max - self.base_k_max
+        """How many k values the frontier resume computes beyond the base."""
+        return max(0, self.query.k_max - self.base_k_max)
+
+    @property
+    def prefix_k_values(self) -> int:
+        """How many k values the bounded prefix re-run computes below the base."""
+        return max(0, self.base_k_min - self.query.k_min)
+
+
+@dataclass(frozen=True)
+class RefineStep(PlanStep):
+    """A plan step served by *refining* a weaker anchor sweep's evidence.
+
+    Planned when the batch contains (or, at execution time, the store holds) a
+    same-family sweep whose lower bound implies this step's
+    (:func:`query_implies`).  The anchor — identified by its group key and
+    covering range — runs first; this step then re-partitions the anchor's
+    per-k below-set evidence under its tighter bound and explores only the
+    promoted subtrees (:func:`~repro.core.top_down.refine_sweep`), paying no
+    root search.  The session re-validates the anchor at execution time
+    (present, implication still holds, evidence covers the range); any mismatch
+    degrades the step to a plain covering run, so a stale plan can cost time
+    but never correctness.
+    """
+
+    anchor_group_key: tuple = field(default=(), repr=False)
+    anchor_k_min: int = 0
+    anchor_k_max: int = 0
 
 
 @dataclass(frozen=True)
@@ -315,19 +433,33 @@ class QueryPlan:
         """Steps planned as frontier extensions of cached sweeps."""
         return sum(1 for step in self.steps if isinstance(step, ExtendStep))
 
+    @property
+    def refine_steps(self) -> int:
+        """Steps planned as implication refinements of a weaker anchor sweep."""
+        return sum(1 for step in self.steps if isinstance(step, RefineStep))
+
     def describe(self) -> str:
         lines = [
             f"plan: {self.n_queries} queries -> {self.n_steps} steps "
             f"({self.deduped_queries} deduped, {self.merged_ranges} ranges merged, "
-            f"{self.extension_steps} extensions)"
+            f"{self.extension_steps} extensions, {self.refine_steps} refinements)"
         ]
         for position, step in enumerate(self.steps):
             query = step.query
             suffix = ""
             if isinstance(step, ExtendStep):
+                sides = []
+                if step.prefix_k_values:
+                    sides.append(f"prefix +{step.prefix_k_values}")
+                if step.suffix_k_values:
+                    sides.append(f"suffix +{step.suffix_k_values}")
                 suffix = (
                     f" extends cached [{step.base_k_min}, {step.base_k_max}]"
-                    f" (+{step.suffix_k_values} k values)"
+                    f" ({', '.join(sides) or 'adjacent'} k values)"
+                )
+            elif isinstance(step, RefineStep):
+                suffix = (
+                    f" refines anchor [{step.anchor_k_min}, {step.anchor_k_max}]"
                 )
             lines.append(
                 f"  step {position}: {query.resolved_algorithm()} tau_s={query.tau_s} "
@@ -341,20 +473,25 @@ def _extension_base(
 ) -> tuple[int, int] | None:
     """The best cached range for extending towards ``[k_min, k_max]``, or ``None``.
 
-    Qualification is :func:`~repro.core.result_store.is_extension_base` — the
-    same predicate the stores' ``extendable`` lookups apply at execution time;
-    among qualifying ranges the latest-ending one wins (smallest suffix).  A
+    Qualification is :func:`~repro.core.result_store.extension_gain` — the
+    same two-sided predicate the stores' ``extendable`` lookups apply at
+    execution time; among qualifying ranges the one serving the most cached k
+    values wins (ties: the latest-ending one, for the smallest suffix).  A
     range that already *contains* the asked range disqualifies extension
     entirely — the step will be a plain containment hit at execution time.
     """
     best: tuple[int, int] | None = None
+    best_score: tuple[int, int] | None = None
     for base_min, base_max in ranges:
         if base_min <= k_min and k_max <= base_max:
             return None
-        if not is_extension_base(base_min, base_max, k_min, k_max):
+        gain = extension_gain(base_min, base_max, k_min, k_max)
+        if gain is None:
             continue
-        if best is None or base_max > best[1]:
+        score = (gain, base_max)
+        if best_score is None or score > best_score:
             best = (base_min, base_max)
+            best_score = score
     return best
 
 
@@ -437,10 +574,127 @@ def plan_queries(
             else:
                 steps.append(PlanStep(**step_fields))
 
-    # 3. Execution order: ascending tau_s, ties by first appearance in the batch,
+    # 3. Implication pass: within each containment-lattice family, anchor one
+    # covering run at the weakest requested threshold and serve the others as
+    # refinements of its evidence.
+    _plan_refinements(steps, coverage)
+
+    # 4. Execution order: ascending tau_s, ties by first appearance in the batch,
     # so the executor's per-tau_s shard assignments are reused back-to-back.
-    steps.sort(key=lambda step: (step.query.tau_s, min(step.serves)))
+    # Refinements sort directly after their anchor (they consume its evidence
+    # while it is hot), ordered weakest-first so the tightest bound runs last.
+    anchors = {
+        (step.group_key, step.query.k_min, step.query.k_max): min(step.serves)
+        for step in steps
+    }
+
+    def execution_key(step: PlanStep) -> tuple:
+        if isinstance(step, RefineStep):
+            anchor_serve = anchors.get(
+                (step.anchor_group_key, step.anchor_k_min, step.anchor_k_max),
+                min(step.serves),
+            )
+            return (
+                step.query.tau_s,
+                anchor_serve,
+                1,
+                -_query_weakness(step.query),
+                min(step.serves),
+            )
+        return (step.query.tau_s, min(step.serves), 0, 0.0, min(step.serves))
+
+    steps.sort(key=execution_key)
     return QueryPlan(queries=queries, steps=tuple(steps))
+
+
+def _plan_refinements(steps: list[PlanStep], coverage: CoverageFn | None) -> None:
+    """Rewrite same-family steps into anchored :class:`RefineStep` groups, in place.
+
+    Greedy lattice cover: within each family (:func:`query_family_key`), pick
+    the step whose bound implies the most other steps' bounds as the anchor,
+    absorb every implied step whose range keeps the anchor's covering range
+    contiguous (widening the anchor when needed — the widened ks are always ks
+    some absorbed member asked for), and repeat on the remainder, so a batch
+    with several incomparable thresholds forms several anchor groups.  Steps
+    left over stay as planned; the session may still serve them by refining a
+    weaker sweep found in the result store at execution time.
+    """
+    families: "OrderedDict[tuple, list[int]]" = OrderedDict()
+    for position, step in enumerate(steps):
+        family = query_family_key(step.query)
+        if family is not None:
+            families.setdefault(family, []).append(position)
+    for positions in families.values():
+        pool = list(positions)
+        while len(pool) >= 2:
+            implied_of = {
+                i: [
+                    j
+                    for j in pool
+                    if j != i and query_implies(steps[i].query, steps[j].query)
+                ]
+                for i in pool
+            }
+            anchor_position = max(
+                pool, key=lambda i: (len(implied_of[i]), -min(steps[i].serves))
+            )
+            members = implied_of[anchor_position]
+            if not members:
+                break
+            anchor = steps[anchor_position]
+            lo, hi = anchor.query.k_min, anchor.query.k_max
+            # Absorb implied members while the union of ranges stays gap-free;
+            # members that would force the anchor to compute unasked gap ks are
+            # left for the next round (or as plain steps).
+            chosen: list[int] = []
+            remaining = sorted(members, key=lambda j: steps[j].query.k_min)
+            changed = True
+            while changed:
+                changed = False
+                for j in list(remaining):
+                    member = steps[j].query
+                    if member.k_min <= hi + 1 and member.k_max >= lo - 1:
+                        lo = min(lo, member.k_min)
+                        hi = max(hi, member.k_max)
+                        chosen.append(j)
+                        remaining.remove(j)
+                        changed = True
+            if not chosen:
+                pool.remove(anchor_position)
+                continue
+            if (lo, hi) != (anchor.query.k_min, anchor.query.k_max):
+                widened = replace(anchor.query, k_min=lo, k_max=hi)
+                base = (
+                    _extension_base(coverage(anchor.group_key), lo, hi)
+                    if coverage is not None
+                    else None
+                )
+                step_fields = dict(
+                    query=widened,
+                    group_key=anchor.group_key,
+                    serves=anchor.serves,
+                    merged_ranges=anchor.merged_ranges,
+                    deduped_queries=anchor.deduped_queries,
+                )
+                if base is not None:
+                    steps[anchor_position] = ExtendStep(
+                        **step_fields, base_k_min=base[0], base_k_max=base[1]
+                    )
+                else:
+                    steps[anchor_position] = PlanStep(**step_fields)
+            for j in chosen:
+                member = steps[j]
+                steps[j] = RefineStep(
+                    query=member.query,
+                    group_key=member.group_key,
+                    serves=member.serves,
+                    merged_ranges=member.merged_ranges,
+                    deduped_queries=member.deduped_queries,
+                    anchor_group_key=anchor.group_key,
+                    anchor_k_min=lo,
+                    anchor_k_max=hi,
+                )
+            pool = [i for i in pool if i != anchor_position and i not in chosen]
 
 
 # -- cross-query result reuse -------------------------------------------------------

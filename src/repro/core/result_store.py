@@ -15,19 +15,25 @@ their resume frontiers) outlive a query, a session and a process:
   ``shared_result_store()`` shares one cache, so repeated audits of the same
   ranking anywhere in the process reuse each other's sweeps.
 * :class:`DiskResultStore` — an on-disk store built on the sweep serde
-  (:func:`repro.core.serialization.sweep_to_dict`, format v3).  Entries are
+  (:func:`repro.core.serialization.sweep_to_dict`, format v4; v3 files are
+  still readable and degrade to ordinary non-refinable hits).  Entries are
   keyed by ``Dataset.fingerprint()`` + the canonical query, so a fresh process
   auditing the same ranking starts warm.  Corrupted files, stale format
   versions and fingerprint mismatches degrade to cache misses, never errors.
 
-Every backend answers three questions about a ``(fingerprint, group)`` pair:
+Every backend answers four questions about a ``(fingerprint, group)`` pair:
 
 * :meth:`~ResultStore.lookup` — *containment*: a cached sweep whose k range
   contains the asked range, served by restriction;
 * :meth:`~ResultStore.extendable` — *partial overlap*: the best cached sweep
-  that covers the asked ``k_min`` but ends short of ``k_max`` **and** carries a
-  :class:`~repro.core.top_down.SweepFrontier`, so the session can compute only
-  the uncovered suffix;
+  that can seed a two-sided k extension (:func:`extension_gain`) — a missing
+  suffix by :class:`~repro.core.top_down.SweepFrontier` resume, a missing
+  prefix by a bounded cold re-run — so the session computes only the
+  uncovered k values;
+* :meth:`~ResultStore.refinable` — *implication*: a weaker same-family anchor
+  (:func:`~repro.core.planner.query_family_key`) whose frontier carries per-k
+  below/size evidence covering the asked range, refinable to the tighter
+  bound without a fresh root search;
 * :meth:`~ResultStore.coverage` — the frontier-bearing ranges alone, which is
   what :func:`repro.core.planner.plan_queries` consults to plan
   :class:`~repro.core.planner.ExtendStep` instead of a full re-run.
@@ -98,11 +104,12 @@ class ResultStore(abc.ABC):
     """
 
     def __init__(self) -> None:
-        #: Containment hits / misses, extension (partial) hits, insertions and
-        #: capacity evictions, store-wide.
+        #: Containment hits / misses, extension (partial) hits, implication
+        #: (refinement) hits, insertions and capacity evictions, store-wide.
         self.hits = 0
         self.misses = 0
         self.partial_hits = 0
+        self.refine_hits = 0
         self.insertions = 0
         self.evictions = 0
 
@@ -120,13 +127,29 @@ class ResultStore(abc.ABC):
     def extendable(
         self, fingerprint: str, group_key: tuple, k_min: int, k_max: int
     ) -> StoreEntry | None:
-        """The best frontier-bearing base for extending towards ``k_max``.
+        """The best cached base for a two-sided extension towards ``[k_min, k_max]``.
 
-        A base qualifies when it covers the asked ``k_min`` (``entry.k_min <=
-        k_min <= entry.k_max + 1``) but ends short of ``k_max``; among qualifying
-        entries the one ending latest wins (smallest suffix left to compute).
-        Counts one partial hit on success and nothing on failure — the caller
-        only reaches this after :meth:`lookup` already counted the miss.
+        Qualification is :func:`extension_gain`; among qualifying entries the
+        one serving the most cached k values wins (ties: latest-ending).  A
+        base that leaves a k *suffix* to compute must carry a resumable
+        :class:`~repro.core.top_down.SweepFrontier`; a prefix-only base needs
+        no frontier (the prefix is a bounded cold re-run).  Counts one partial
+        hit on success and nothing on failure — the caller only reaches this
+        after :meth:`lookup` already counted the miss.
+        """
+
+    @abc.abstractmethod
+    def refinable(self, fingerprint: str, query: "DetectionQuery") -> StoreEntry | None:
+        """The best weaker anchor whose evidence can be refined into ``query``.
+
+        Scans the query's containment-lattice family
+        (:func:`~repro.core.planner.query_family_key`) for an entry whose bound
+        implies the query's (:func:`~repro.core.planner.query_implies`) and
+        whose frontier carries implication evidence covering the query's k
+        range.  Among qualifying anchors the *tightest* wins — fewer promoted
+        patterns, so the cheapest refinement.  Counts one refine hit on
+        success and nothing on failure.  Backends return ``None`` for queries
+        without a family.
         """
 
     @abc.abstractmethod
@@ -162,16 +185,45 @@ class ResultStore(abc.ABC):
 
 
 def is_extension_base(entry_min: int, entry_max: int, k_min: int, k_max: int) -> bool:
-    """Whether a cached ``[entry_min, entry_max]`` can seed ``[k_min, k_max]``.
+    """Whether a cached ``[entry_min, entry_max]`` can seed a *suffix* extension.
 
     The base must cover the asked start (``entry_min <= k_min``), end short of
     the asked end (``entry_max < k_max``) and leave no gap before the asked
     start (``k_min <= entry_max + 1``), so the merged sweep stays contiguous.
-    This single predicate is shared by every store backend's :meth:`extendable`
+    Kept as the suffix-only special case of :func:`extension_gain` (the shared
+    two-sided predicate).
+    """
+    return entry_min <= k_min <= entry_max + 1 and entry_max < k_max
+
+
+def extension_gain(entry_min: int, entry_max: int, k_min: int, k_max: int) -> int | None:
+    """Cached k values a base ``[entry_min, entry_max]`` serves towards ``[k_min, k_max]``.
+
+    ``None`` when the base does not qualify as a two-sided extension seed:
+
+    * a base *containing* the asked range is a containment hit, not an
+      extension;
+    * a missing k *suffix* (``entry_max < k_max``) is computable by frontier
+      resume whenever the base reaches at least ``k_min - 1`` (adjacency is
+      allowed — the resume itself pays for the whole range, so a zero-overlap
+      suffix base still saves the root search);
+    * a missing k *prefix* (``k_min < entry_min``) is computable by a bounded
+      cold re-run over ``[k_min, entry_min - 1]``, which only pays off when the
+      base actually overlaps the asked range (``entry_min <= k_max``) — a
+      prefix-adjacent base would leave the whole range to the re-run.
+
+    The returned gain (the overlap size, >= 0) ranks competing bases; this
+    single predicate is shared by every store backend's :meth:`~ResultStore.extendable`
     and by the planner's :class:`~repro.core.planner.ExtendStep` decision, so
     plan-time and execution-time judgements can never diverge.
     """
-    return entry_min <= k_min <= entry_max + 1 and entry_max < k_max
+    if entry_min <= k_min and k_max <= entry_max:
+        return None
+    suffix_seed = entry_min <= k_min <= entry_max + 1 and entry_max < k_max
+    prefix_seed = k_min < entry_min <= k_max
+    if not (suffix_seed or prefix_seed):
+        return None
+    return max(0, min(k_max, entry_max) - max(k_min, entry_min) + 1)
 
 
 class InMemoryResultStore(ResultStore):
@@ -222,20 +274,56 @@ class InMemoryResultStore(ResultStore):
     ) -> StoreEntry | None:
         with self._lock:
             best_key = None
+            best_score: tuple[int, int] | None = None
             for key, entry in self._entries.items():
                 entry_fingerprint, entry_group, entry_min, entry_max = key
-                if (
-                    entry_fingerprint == fingerprint
-                    and entry_group == group_key
-                    and entry.frontier is not None
-                    and is_extension_base(entry_min, entry_max, k_min, k_max)
+                if entry_fingerprint != fingerprint or entry_group != group_key:
+                    continue
+                gain = extension_gain(entry_min, entry_max, k_min, k_max)
+                if gain is None:
+                    continue
+                if entry_max < k_max and (
+                    entry.frontier is None or not entry.frontier.resumable
                 ):
-                    if best_key is None or entry_max > best_key[3]:
-                        best_key = key
+                    # A missing suffix needs a frontier resume; prefix-only
+                    # bases get by without one.
+                    continue
+                score = (gain, entry_max)
+                if best_score is None or score > best_score:
+                    best_key = key
+                    best_score = score
             if best_key is None:
                 return None
             self._entries.move_to_end(best_key)
             self.partial_hits += 1
+            return self._entries[best_key]
+
+    def refinable(self, fingerprint: str, query: "DetectionQuery") -> StoreEntry | None:
+        # Imported lazily to avoid the planner <-> store import cycle.
+        from repro.core.planner import _query_weakness, query_family_key, query_implies
+
+        if query_family_key(query) is None:
+            return None
+        with self._lock:
+            best_key = None
+            best_weakness = None
+            for key, entry in self._entries.items():
+                entry_fingerprint, _, entry_min, entry_max = key
+                if (
+                    entry_fingerprint != fingerprint
+                    or entry.frontier is None
+                    or not entry.frontier.covers_evidence(query.k_min, query.k_max)
+                    or not query_implies(entry.query, query)
+                ):
+                    continue
+                weakness = _query_weakness(entry.query)
+                if best_weakness is None or weakness < best_weakness:
+                    best_key = key
+                    best_weakness = weakness
+            if best_key is None:
+                return None
+            self._entries.move_to_end(best_key)
+            self.refine_hits += 1
             return self._entries[best_key]
 
     def insert(
@@ -370,12 +458,20 @@ def _storable_key(value) -> bool:
 
 
 class DiskResultStore(ResultStore):
-    """On-disk result store: one JSON sweep file (format v3) per covering sweep.
+    """On-disk result store: one JSON sweep file (format v4) per covering sweep.
 
     ``directory`` is created on first use.  File names are
     ``<digest>_<k_min>_<k_max>.json`` where the digest hashes the dataset
     fingerprint plus the canonical group key, so lookups scan only the files of
-    the asked group and never deserialise another dataset's entries.  Every
+    the asked group and never deserialise another dataset's entries.  Sweeps
+    whose query belongs to a containment-lattice family
+    (:func:`~repro.core.planner.query_family_key`) get the longer form
+    ``<digest>_<family_digest>_<k_min>_<k_max>.json``, so
+    :meth:`refinable` can glob a whole family — every threshold of one bound
+    shape — without knowing the individual group keys; both forms are parsed
+    by every scan, and inserting over a legacy short-named entry of the same
+    range replaces it (the subsumption unlink below treats an equal range as
+    contained).  Every
     loaded payload is *re-validated* — format version, dataset fingerprint and
     group key must all match — so a renamed, truncated, corrupted or
     stale-format file degrades to a cache miss (counted in
@@ -475,15 +571,28 @@ class DiskResultStore(ResultStore):
         payload = json.dumps([fingerprint, group_key], sort_keys=True, default=str)
         return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
+    @staticmethod
+    def _family_digest(fingerprint: str, family_key: tuple) -> str:
+        payload = json.dumps([fingerprint, family_key], sort_keys=True, default=str)
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
     def _candidates(self, digest: str) -> list[tuple[int, int, Path]]:
-        """The ``(k_min, k_max, path)`` entries filed under ``digest``."""
+        """The ``(k_min, k_max, path)`` entries filed under ``digest``.
+
+        Accepts both stem forms: legacy ``<digest>_<k_min>_<k_max>`` and the
+        family-tagged ``<digest>_<family_digest>_<k_min>_<k_max>``.
+        """
         candidates = []
         for path in self._directory.glob(f"{digest}_*.json"):
             parts = path.stem.split("_")
-            if len(parts) != 3:
+            if len(parts) == 3:
+                k_parts = parts[1], parts[2]
+            elif len(parts) == 4:
+                k_parts = parts[2], parts[3]
+            else:
                 continue
             try:
-                candidates.append((int(parts[1]), int(parts[2]), path))
+                candidates.append((int(k_parts[0]), int(k_parts[1]), path))
             except ValueError:
                 continue
         return candidates
@@ -540,21 +649,92 @@ class DiskResultStore(ResultStore):
         self, fingerprint: str, group_key: tuple, k_min: int, k_max: int
     ) -> StoreEntry | None:
         digest = self._digest(fingerprint, group_key)
-        qualifying = [
-            (entry_min, entry_max, path)
-            for entry_min, entry_max, path in self._candidates(digest)
-            if is_extension_base(entry_min, entry_max, k_min, k_max)
-        ]
-        # Latest-ending base first (smallest suffix); fall through on bad files.
-        for entry_min, entry_max, path in sorted(
-            qualifying, key=lambda item: item[1], reverse=True
+        qualifying = []
+        for entry_min, entry_max, path in self._candidates(digest):
+            gain = extension_gain(entry_min, entry_max, k_min, k_max)
+            if gain is not None:
+                qualifying.append((gain, entry_max, entry_min, path))
+        # Best gain first (ties: latest-ending); fall through on bad files.
+        for _, entry_max, entry_min, path in sorted(
+            qualifying, key=lambda item: (item[0], item[1]), reverse=True
         ):
             entry = self._load(path, fingerprint, group_key, entry_min, entry_max)
-            if entry is not None and entry.frontier is not None:
-                self.partial_hits += 1
-                self._touch(path)
-                return entry
+            if entry is None:
+                continue
+            if entry_max < k_max and (
+                entry.frontier is None or not entry.frontier.resumable
+            ):
+                # A missing suffix needs a frontier resume; prefix-only
+                # bases get by without one.
+                continue
+            self.partial_hits += 1
+            self._touch(path)
+            return entry
         return None
+
+    def refinable(self, fingerprint: str, query: "DetectionQuery") -> StoreEntry | None:
+        # Imported lazily to avoid the planner <-> store import cycle.
+        from repro.core.planner import _query_weakness, query_family_key, query_implies
+
+        family_key = query_family_key(query)
+        if family_key is None:
+            return None
+        family_digest = self._family_digest(fingerprint, family_key)
+        best = best_weakness = best_path = None
+        for path in self._directory.glob(f"*_{family_digest}_*_*.json"):
+            parts = path.stem.split("_")
+            if len(parts) != 4 or parts[1] != family_digest:
+                continue
+            try:
+                entry_min, entry_max = int(parts[2]), int(parts[3])
+            except ValueError:
+                continue
+            entry = self._load_family(path, fingerprint, family_key, entry_min, entry_max)
+            if (
+                entry is None
+                or entry.frontier is None
+                or not entry.frontier.covers_evidence(query.k_min, query.k_max)
+                or not query_implies(entry.query, query)
+            ):
+                continue
+            weakness = _query_weakness(entry.query)
+            if best_weakness is None or weakness < best_weakness:
+                best, best_weakness, best_path = entry, weakness, path
+        if best is None:
+            return None
+        self._touch(best_path)
+        self.refine_hits += 1
+        return best
+
+    def _load_family(
+        self, path: Path, fingerprint: str, family_key: tuple,
+        entry_min: int, entry_max: int,
+    ) -> StoreEntry | None:
+        """Load and re-validate one family-tagged sweep file for :meth:`refinable`.
+
+        Mirrors :meth:`_load` but validates the containment-lattice family key
+        instead of the (unknown, per-threshold) group key — the caller scans a
+        whole family, whose members differ exactly in their bound constants.
+        """
+        # Imported lazily to avoid the planner <-> store import cycle.
+        from repro.core.planner import query_family_key
+
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            entry_fingerprint, query, result, frontier = sweep_from_dict(payload)
+        except (OSError, json.JSONDecodeError, DetectionError):
+            self.unreadable_entries += 1
+            self._quarantine(path)
+            return None
+        if (
+            entry_fingerprint != fingerprint
+            or query_family_key(query) != family_key
+            or (query.k_min, query.k_max) != (entry_min, entry_max)
+        ):
+            self.unreadable_entries += 1
+            self._quarantine(path)
+            return None
+        return StoreEntry(query=query, result=result, frontier=frontier)
 
     @staticmethod
     def _touch(path: Path) -> None:
@@ -584,7 +764,16 @@ class DiskResultStore(ResultStore):
             # a store insert crash the serving session.
             self.skipped_inserts += 1
             return
-        path = self._directory / f"{digest}_{query.k_min}_{query.k_max}.json"
+        # Imported lazily to avoid the planner <-> store import cycle.
+        from repro.core.planner import query_family_key
+
+        family_key = query_family_key(query)
+        if family_key is None:
+            name = f"{digest}_{query.k_min}_{query.k_max}.json"
+        else:
+            family_digest = self._family_digest(fingerprint, family_key)
+            name = f"{digest}_{family_digest}_{query.k_min}_{query.k_max}.json"
+        path = self._directory / name
         temporary = path.with_name(path.name + f".tmp{os.getpid()}")
         with self._writer_lock():
             temporary.write_text(

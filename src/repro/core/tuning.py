@@ -22,17 +22,24 @@ A bisection issues a dozen-odd detection queries against the *same* ranked datas
 — the archetypal repeated-query workload — so every suggester runs its probes
 through one :class:`~repro.core.session.AuditSession`: the ranking is encoded
 once, the engine's sibling-block caches stay warm between probes, and (with a
-parallel ``execution``) one worker pool serves the whole search.
+parallel ``execution``) one worker pool serves the whole search.  The probes of
+one suggester differ only in their threshold, so they also ride the session's
+*implication* path: once the weakest probe's sweep is cached (with its per-k
+below/size evidence), every tighter probe is refined from it instead of running
+a fresh root search — a bisection is one anchored search plus refinements.
+:func:`threshold_sweep` exposes the same economy for an explicit list of
+candidate thresholds, evaluated as one planned batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.bounds import GlobalBoundSpec, ProportionalBoundSpec
 from repro.core.detector import DetectionReport
 from repro.core.engine.parallel import ExecutionConfig
+from repro.core.result_store import ResultStore
 from repro.core.session import AuditSession, DetectionQuery
 from repro.data.dataset import Dataset
 from repro.exceptions import DetectionError
@@ -97,6 +104,64 @@ def _bisect_largest_feasible(
         else:
             high = middle
     return best
+
+
+def threshold_sweep(
+    dataset: Dataset,
+    ranking: Ranking,
+    tau_s: int,
+    k_min: int,
+    k_max: int,
+    lower_bounds: Sequence[float] | None = None,
+    alphas: Sequence[float] | None = None,
+    execution: ExecutionConfig | None = None,
+    store: ResultStore | None = None,
+) -> list[TuningResult]:
+    """Evaluate many thresholds of one bound shape as a single planned batch.
+
+    Pass exactly one of ``lower_bounds`` (constant global lower bounds, audited
+    by GlobalBounds) or ``alphas`` (proportional bounds, audited by PropBounds).
+    The candidates share ``tau_s`` and the k range, so they form one
+    containment-lattice family: the planner anchors one covering run at the
+    *weakest* threshold (largest value — it flags the most groups) and serves
+    every tighter candidate as an implication refinement of that anchor's
+    evidence, tightest last.  The batch therefore costs one full search plus
+    N−1 refinements, and every result is bit-identical to a cold per-threshold
+    loop (``implication_hits`` / ``refined_queries`` on the reports' stats show
+    the provenance).  Results come back in input order; ``store`` optionally
+    shares the sweeps beyond this call.
+    """
+    if (lower_bounds is None) == (alphas is None):
+        raise DetectionError("pass exactly one of lower_bounds / alphas")
+    if lower_bounds is not None:
+        values = [float(value) for value in lower_bounds]
+        queries = [
+            DetectionQuery(
+                bound=GlobalBoundSpec(lower_bounds=value), tau_s=tau_s,
+                k_min=k_min, k_max=k_max, algorithm="global_bounds",
+            )
+            for value in values
+        ]
+    else:
+        values = [float(value) for value in alphas]
+        queries = [
+            DetectionQuery(
+                bound=ProportionalBoundSpec(alpha=value), tau_s=tau_s,
+                k_min=k_min, k_max=k_max, algorithm="prop_bounds",
+            )
+            for value in values
+        ]
+    with AuditSession(dataset, ranking, execution=execution, store=store) as session:
+        reports = session.run_many(queries)
+    return [
+        TuningResult(
+            parameter=value,
+            max_groups_per_k=report.result.max_groups_per_k(),
+            total_reported=report.result.total_reported(),
+            report=report,
+        )
+        for value, report in zip(values, reports)
+    ]
 
 
 def suggest_alpha(

@@ -270,11 +270,26 @@ class TestExtendPlanning:
         )
         assert not isinstance(plan.steps[0], ExtendStep)
 
-    def test_cached_range_starting_too_late_cannot_extend(self):
-        # The base must cover the step's k_min: frontiers only extend upward.
+    def test_cached_range_starting_too_late_extends_two_sided(self):
+        # A base starting past the asked k_min still seeds a two-sided
+        # extension: the prefix is a bounded cold re-run, the suffix a
+        # frontier resume.
         plan = plan_queries(
             [DetectionQuery(FLAT, 2, 2, 40)],
             coverage=self._coverage({self.GROUP: [(5, 20)]}),
+        )
+        step = plan.steps[0]
+        assert isinstance(step, ExtendStep)
+        assert (step.base_k_min, step.base_k_max) == (5, 20)
+        assert step.prefix_k_values == 3
+        assert step.suffix_k_values == 20
+
+    def test_prefix_adjacent_base_does_not_extend(self):
+        # A prefix-side base must actually overlap the asked range — otherwise
+        # the bounded re-run would recompute everything the query asks for.
+        plan = plan_queries(
+            [DetectionQuery(FLAT, 2, 2, 20)],
+            coverage=self._coverage({self.GROUP: [(21, 40)]}),
         )
         assert not isinstance(plan.steps[0], ExtendStep)
 

@@ -45,6 +45,7 @@ from repro.core.result_store import (
     shared_result_store_names,
 )
 from repro.core.serialization import (
+    MIN_SWEEP_FORMAT_VERSION,
     SWEEP_FORMAT_VERSION,
     frontier_from_dict,
     frontier_to_dict,
@@ -369,7 +370,7 @@ json.dump({{
             session.run(query)
         for path in tmp_path.glob("*.json"):
             payload = json.loads(path.read_text())
-            payload["sweep_format_version"] = SWEEP_FORMAT_VERSION - 1
+            payload["sweep_format_version"] = MIN_SWEEP_FORMAT_VERSION - 1
             path.write_text(json.dumps(payload), encoding="utf-8")
         store = DiskResultStore(tmp_path)
         with AuditSession(dataset, ranking, store=store) as session:
